@@ -1,0 +1,53 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (a table or a figure's
+series), prints the same rows the paper plots, saves them under
+``benchmarks/results/`` and asserts the headline *shape* of the result
+(who wins, by roughly what factor).  Absolute numbers differ from the
+paper's (different simulator, shorter default windows) but orderings and
+crossovers must hold — a failed benchmark means the reproduction broke.
+
+Run with ``pytest benchmarks/ --benchmark-only``; add ``-s`` to see the
+series inline, or read the files in ``benchmarks/results/``.
+
+The effort profile is selected by ``REPRO_PROFILE`` (fast / default /
+full); simulation results are memoized in-process, so the Figure 7
+benchmarks reuse the raw runs of Figures 5 and 6 when executed in the
+same pytest session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def reporter(results_dir):
+    """Save a rendered report and echo it to stdout (visible with -s)."""
+
+    def save(name: str, text: str) -> None:
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+        print()
+        print(text)
+
+    return save
+
+
+def run_once(benchmark, fn):
+    """Run an expensive experiment exactly once under pytest-benchmark.
+
+    Simulation experiments take seconds to minutes; statistical repetition
+    belongs to the simulator's own seed sweeps, not the harness, so one
+    round with one iteration is the meaningful measurement here.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

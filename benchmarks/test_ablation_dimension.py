@@ -1,0 +1,50 @@
+"""Ablation — cube dimensionality under physical constraints (§11 outlook).
+
+The paper predicts low-dimensional cubes extend their lead as wire delay
+dominates; the contemporaneous debate (Duato & Malumbres, "Hypercubes
+again?") asked whether high-dimensional cubes win instead.  Applying the
+paper's own §5 methodology to three equal-size cubes — 16-ary 2-cube,
+4-ary 4-cube, binary 8-cube, all 256 nodes, same pin budget, wire-length
+class by embeddability — settles it for this model: the 2-D torus wins
+both throughput and latency in absolute units.
+"""
+
+from repro.experiments.dimension import SHAPES_256, dimension_study
+from repro.experiments.report import render_table
+
+from .conftest import run_once
+
+
+def test_dimension_study(benchmark, reporter):
+    rows = run_once(benchmark, dimension_study)
+    reporter(
+        "ablation_dimension",
+        render_table(
+            ["shape", "flit B", "wires", "T_clock ns", "sat bits/ns", "latency ns @ low load"],
+            [
+                [
+                    r.variant.label,
+                    r.variant.flit_bytes,
+                    r.variant.wire.value,
+                    round(r.variant.clock_ns, 2),
+                    round(r.saturation_bits_per_ns, 1),
+                    round(r.low_load_latency_ns, 1),
+                ]
+                for r in rows
+            ],
+            title="Cube dimension ablation — uniform traffic, Duato routing, N=256",
+        ),
+    )
+    assert [(r.variant.k, r.variant.n) for r in rows] == list(SHAPES_256)
+    torus, cube4, hyper = rows
+    # the §11 prediction: the low-dimensional cube wins in absolute units
+    assert torus.saturation_bits_per_ns > 1.25 * cube4.saturation_bits_per_ns
+    assert torus.saturation_bits_per_ns > 1.25 * hyper.saturation_bits_per_ns
+    assert torus.low_load_latency_ns < cube4.low_load_latency_ns
+    assert torus.low_load_latency_ns < hyper.low_load_latency_ns
+    # physical-constraint bookkeeping: high dimensions pay narrow paths
+    # and medium wires
+    assert torus.variant.flit_bytes == 4
+    assert cube4.variant.flit_bytes == hyper.variant.flit_bytes == 2
+    assert torus.variant.wire.value == "short"
+    assert cube4.variant.wire.value == hyper.variant.wire.value == "medium"

@@ -1,0 +1,90 @@
+"""Ablation — extension traffic patterns beyond the paper's four.
+
+Exercises the extra generators (neighbor, shuffle, butterfly, tornado,
+hotspot) on both paper networks at a few loads, and checks the expected
+qualitative behaviors:
+
+* neighbor traffic is congestion-free-like on the tree (mostly intra-leaf)
+  and light on the cube (single-hop rings);
+* tornado is the adversarial torus pattern: it degrades the cube far more
+  than neighbor does, and adaptive routing cannot rescue it (all packets
+  need the same ring direction);
+* a strong hotspot collapses accepted bandwidth towards the single
+  ejection channel limit shared by all sources.
+"""
+
+from repro.experiments.report import render_table
+from repro.experiments.sweep import run_sweep
+from repro.profiles import get_profile
+from repro.sim.run import cube_config, tree_config
+
+from .conftest import run_once
+
+LOADS = (0.3, 0.6, 0.9)
+
+
+def _sweep(make_config, label):
+    profile = get_profile()
+    return run_sweep(
+        lambda load: make_config(
+            load=load,
+            warmup_cycles=profile.warmup_cycles,
+            total_cycles=profile.total_cycles,
+            seed=17,
+        ),
+        LOADS,
+        label=label,
+    )
+
+
+def run_all():
+    rows = []
+    series = {}
+    for pattern in ("neighbor", "shuffle", "butterfly", "tornado"):
+        tree = _sweep(
+            lambda pattern=pattern, **kw: tree_config(vcs=4, pattern=pattern, **kw),
+            f"tree/{pattern}",
+        )
+        cube = _sweep(
+            lambda pattern=pattern, **kw: cube_config(
+                algorithm="duato", pattern=pattern, **kw
+            ),
+            f"cube/{pattern}",
+        )
+        series[("tree", pattern)] = tree
+        series[("cube", pattern)] = cube
+        rows.append([pattern, tree.peak_accepted(), cube.peak_accepted()])
+    hotspot = _sweep(
+        lambda **kw: cube_config(
+            algorithm="duato",
+            pattern="hotspot",
+            pattern_kwargs={"hotspots": (0,), "fraction": 0.2},
+            **kw,
+        ),
+        "cube/hotspot20",
+    )
+    series[("cube", "hotspot")] = hotspot
+    rows.append(["hotspot(20%)", None, hotspot.peak_accepted()])
+    return rows, series
+
+
+def test_extension_patterns(benchmark, reporter):
+    rows, series = run_once(benchmark, run_all)
+    reporter(
+        "ablation_patterns",
+        render_table(
+            ["pattern", "tree 4vc peak acc", "cube Duato peak acc"],
+            rows,
+            title="Extension patterns — peak accepted bandwidth (fraction of capacity)",
+        ),
+    )
+    peak = {key: s.peak_accepted() for key, s in series.items()}
+    # neighbor is near-local on both networks
+    assert peak[("tree", "neighbor")] >= 0.8
+    assert peak[("cube", "neighbor")] >= 0.8
+    # tornado hurts the cube much more than neighbor traffic does
+    assert peak[("cube", "tornado")] <= 0.7 * peak[("cube", "neighbor")]
+    # the tree is insensitive to tornado's ring structure (it has none)
+    assert peak[("tree", "tornado")] >= peak[("cube", "tornado")]
+    # a 20% hotspot caps global accepted bandwidth well below uniform
+    assert peak[("cube", "hotspot")] <= 0.5

@@ -1,0 +1,29 @@
+"""Figure 5 g–h — 4-ary 4-tree under bit-reversal traffic (paper §8).
+
+Paper: "an analogous behavior [to transpose] for the bit reversal" — the
+two permutations share the same distance distribution (eq. 5) and the
+same sensitivity to the flow-control strategy.
+"""
+
+import pytest
+
+from repro.experiments.fig5 import fig5_experiment
+from repro.experiments.report import render_cnf
+
+from .conftest import run_once
+
+
+def test_fig5_bitrev(benchmark, reporter):
+    cnf = run_once(benchmark, lambda: fig5_experiment("bitrev"))
+    reporter("fig5_bitrev", render_cnf(cnf))
+
+    sustained = cnf.sustained_summary()
+    assert sustained["1 vc"] < sustained["2 vc"] < sustained["4 vc"]
+    assert sustained["4 vc"] >= 1.6 * sustained["1 vc"]
+
+    # §8: bit reversal behaves like transpose — compare their sustained
+    # rates variant by variant (reuses transpose runs from the cache when
+    # the full suite runs; otherwise simulates them)
+    transpose = fig5_experiment("transpose")
+    for label, value in transpose.sustained_summary().items():
+        assert sustained[label] == pytest.approx(value, rel=0.20)

@@ -1,0 +1,22 @@
+"""Figure 5 e–f — 4-ary 4-tree under transpose traffic (paper §8).
+
+Paper: saturation at ≈33% / 60% / 78% of capacity with 1 / 2 / 4 virtual
+channels — congestion in the descending phase makes the pattern highly
+sensitive to the flow-control strategy, like uniform and bit reversal.
+"""
+
+from repro.experiments.fig5 import fig5_experiment
+from repro.experiments.report import render_cnf
+
+from .conftest import run_once
+
+
+def test_fig5_transpose(benchmark, reporter):
+    cnf = run_once(benchmark, lambda: fig5_experiment("transpose"))
+    reporter("fig5_transpose", render_cnf(cnf))
+
+    sustained = cnf.sustained_summary()
+    assert sustained["1 vc"] < sustained["2 vc"] < sustained["4 vc"]
+    assert sustained["4 vc"] >= 1.6 * sustained["1 vc"]
+    assert 0.25 <= sustained["1 vc"] <= 0.50
+    assert 0.55 <= sustained["4 vc"] <= 0.90

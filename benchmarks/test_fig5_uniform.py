@@ -1,0 +1,30 @@
+"""Figure 5 a–b — 4-ary 4-tree under uniform traffic (paper §8).
+
+Paper: saturation ≈36% (1 vc), ≈55% (2 vc), ≈72% (4 vc); stable
+post-saturation throughput; "switching from 1 to 4 virtual channels
+doubles the accepted bandwidth".
+"""
+
+from repro.experiments.fig5 import fig5_experiment
+from repro.experiments.report import render_cnf
+from repro.metrics.saturation import post_saturation_stability
+
+from .conftest import run_once
+
+
+def test_fig5_uniform(benchmark, reporter):
+    cnf = run_once(benchmark, lambda: fig5_experiment("uniform"))
+    reporter("fig5_uniform", render_cnf(cnf))
+
+    sustained = cnf.sustained_summary()
+    # more virtual channels -> strictly better throughput
+    assert sustained["1 vc"] < sustained["2 vc"] < sustained["4 vc"]
+    # 4 VCs roughly double the 1 VC bandwidth (paper: 36% -> 72%)
+    assert sustained["4 vc"] >= 1.6 * sustained["1 vc"]
+    # absolute bands, generous around the paper's 36/55/72%
+    assert 0.25 <= sustained["1 vc"] <= 0.50
+    assert 0.40 <= sustained["2 vc"] <= 0.65
+    assert 0.55 <= sustained["4 vc"] <= 0.85
+    # §6/§8: throughput remains stable beyond saturation
+    for series in cnf.series:
+        assert post_saturation_stability(series) < 0.15

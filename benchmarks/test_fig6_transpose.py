@@ -1,0 +1,21 @@
+"""Figure 6 e–f — 16-ary 2-cube under transpose traffic (paper §9).
+
+Paper: the transpose reflects every packet across the matrix diagonal,
+creating a continuous congestion area along it; the adaptive algorithm
+reaches ≈50% of capacity, "more than twice" the deterministic one (≈25%).
+"""
+
+from repro.experiments.fig6 import fig6_experiment
+from repro.experiments.report import render_cnf
+
+from .conftest import run_once
+
+
+def test_fig6_transpose(benchmark, reporter):
+    cnf = run_once(benchmark, lambda: fig6_experiment("transpose"))
+    reporter("fig6_transpose", render_cnf(cnf))
+
+    sustained = cnf.sustained_summary()
+    assert sustained["Duato"] >= 1.7 * sustained["deterministic"]
+    assert 0.40 <= sustained["Duato"] <= 0.60  # paper: ~50%
+    assert 0.15 <= sustained["deterministic"] <= 0.35  # paper: ~25%

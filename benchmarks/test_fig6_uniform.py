@@ -1,0 +1,29 @@
+"""Figure 6 a–b — 16-ary 2-cube under uniform traffic (paper §9).
+
+Paper: Duato's minimal adaptive algorithm saturates at ≈80% of capacity,
+the deterministic one at ≈60%; network latency is ≈70 cycles for both
+before saturation and 130–150 cycles at saturation.
+"""
+
+from repro.experiments.fig6 import fig6_experiment
+from repro.experiments.report import render_cnf
+from repro.metrics.saturation import post_saturation_stability
+
+from .conftest import run_once
+
+
+def test_fig6_uniform(benchmark, reporter):
+    cnf = run_once(benchmark, lambda: fig6_experiment("uniform"))
+    reporter("fig6_uniform", render_cnf(cnf))
+
+    sustained = cnf.sustained_summary()
+    # adaptivity wins under uniform traffic
+    assert sustained["Duato"] > sustained["deterministic"]
+    assert 0.65 <= sustained["Duato"] <= 0.90  # paper: ~80%
+    assert 0.40 <= sustained["deterministic"] <= 0.70  # paper: ~60%
+
+    # latency before saturation is low (paper: ~70 cycles) for both
+    for series in cnf.series:
+        first = series.points[0].latency_cycles
+        assert first is not None and first < 90
+        assert post_saturation_stability(series) < 0.15

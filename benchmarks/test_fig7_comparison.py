@@ -1,0 +1,83 @@
+"""Figure 7 a–h — the two networks compared in absolute units (paper §10).
+
+The §10 headlines this harness checks (saturation throughput in bits/ns,
+paper values in parentheses):
+
+* uniform — cube wins: Duato (440) > deterministic (350) > best tree
+  (280, 4 vc) > tree 1 vc (150); cube pre-saturation latency about half
+  the tree's;
+* complement — tree wins: every tree variant (≈400) above the best cube
+  (deterministic, ≈280 by §10 / ≈250 by §11);
+* transpose and bit reversal — two classes: {cube Duato, tree 2 vc,
+  tree 4 vc} clearly above {cube deterministic, tree 1 vc}.
+
+When run after the Figure 5/6 benchmarks in the same session all raw
+simulations are reused from the in-process cache; the timing measured
+here is then the (cheap) rescaling itself.
+"""
+
+from repro.experiments.fig7 import fig7_experiment
+from repro.experiments.report import render_comparison
+
+from .conftest import run_once
+
+FAST_CLASS = ("cube, Duato", "fat tree, 2 vc", "fat tree, 4 vc")
+SLOW_CLASS = ("cube, deterministic", "fat tree, 1 vc")
+
+
+def test_fig7_uniform(benchmark, reporter):
+    result = run_once(benchmark, lambda: fig7_experiment("uniform"))
+    reporter("fig7_uniform", render_comparison(result))
+
+    sat = result.saturation_summary()
+    # cube dominates the fat-tree under uniform traffic
+    assert sat["cube, Duato"] > sat["cube, deterministic"]
+    assert sat["cube, deterministic"] > sat["fat tree, 4 vc"]
+    assert sat["fat tree, 4 vc"] > sat["fat tree, 2 vc"] > sat["fat tree, 1 vc"]
+    # rough magnitudes (paper: 440 / 350 / 280 / 150)
+    assert 300 <= sat["cube, Duato"] <= 500
+    assert 100 <= sat["fat tree, 1 vc"] <= 200
+
+    # cube latency about half the tree latency at light load (§10)
+    by_label = {s.label: s for s in result.series}
+    cube_lat = by_label["cube, Duato"].points[0].latency_ns
+    tree_lat = by_label["fat tree, 4 vc"].points[0].latency_ns
+    assert tree_lat > 1.6 * cube_lat
+
+
+def test_fig7_complement(benchmark, reporter):
+    result = run_once(benchmark, lambda: fig7_experiment("complement"))
+    reporter("fig7_complement", render_comparison(result))
+
+    sat = result.saturation_summary()
+    best_tree = max(v for k, v in sat.items() if k.startswith("fat tree"))
+    best_cube = max(v for k, v in sat.items() if k.startswith("cube"))
+    # the tree wins the bisection-stressing pattern
+    assert best_tree > best_cube
+    # and the best cube algorithm is the deterministic one
+    assert sat["cube, deterministic"] > sat["cube, Duato"]
+    # rough magnitudes (paper: tree ~400, best cube ~250-280)
+    assert best_tree >= 280
+    assert 150 <= best_cube <= 330
+
+
+def test_fig7_transpose(benchmark, reporter):
+    result = run_once(benchmark, lambda: fig7_experiment("transpose"))
+    reporter("fig7_transpose", render_comparison(result))
+    _assert_two_classes(result.saturation_summary())
+
+
+def test_fig7_bitrev(benchmark, reporter):
+    result = run_once(benchmark, lambda: fig7_experiment("bitrev"))
+    reporter("fig7_bitrev", render_comparison(result))
+    _assert_two_classes(result.saturation_summary())
+
+
+def _assert_two_classes(sat: dict[str, float]) -> None:
+    """§10: saturation points split into a fast and a slow class."""
+    slowest_fast = min(sat[label] for label in FAST_CLASS)
+    fastest_slow = max(sat[label] for label in SLOW_CLASS)
+    assert slowest_fast > fastest_slow
+    # paper bands: fast class 250-300, slow class 100-150 (generous)
+    assert all(180 <= sat[label] <= 360 for label in FAST_CLASS), sat
+    assert all(60 <= sat[label] <= 220 for label in SLOW_CLASS), sat

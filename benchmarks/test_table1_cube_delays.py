@@ -1,0 +1,30 @@
+"""Table 1 — routing delays of the 16-ary 2-cube algorithms (paper §5).
+
+Regenerates the table from Chien's cost model and checks it digit for
+digit against the printed values.
+"""
+
+import pytest
+
+from repro.experiments.report import render_delay_table
+from repro.experiments.tables import PAPER_TABLE1, table1_rows
+
+from .conftest import run_once
+
+
+def test_table1(benchmark, reporter):
+    rows = run_once(benchmark, table1_rows)
+    reporter("table1_cube_delays", render_delay_table(rows, "Table 1 — cube routing delays (ns)"))
+
+    by_name = {r["algorithm"]: r for r in rows}
+    for name, (t_r, t_c, t_l, t_clk) in PAPER_TABLE1.items():
+        row = by_name[name]
+        assert row["T_routing"] == pytest.approx(t_r, abs=0.011)
+        assert row["T_crossbar"] == pytest.approx(t_c, abs=0.011)
+        assert row["T_link"] == pytest.approx(t_l, abs=0.011)
+        assert row["T_clock"] == pytest.approx(t_clk, abs=0.011)
+    # §5: the deterministic router is link-limited, the adaptive one
+    # routing-limited — the clock penalty of adaptivity
+    assert by_name["deterministic"]["limiting"] == "link"
+    assert by_name["duato"]["limiting"] == "routing"
+    assert by_name["duato"]["T_clock"] > by_name["deterministic"]["T_clock"]

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Parallel-algorithm communication phases on both networks.
+
+The paper's benchmarks are synthetic; this example plays the *algorithm
+shaped* counterparts — all-to-all personalized exchange (sample sort,
+FFT transposition), a butterfly barrier, and a binomial broadcast —
+through the same flit-level engine via the trace-driven workload layer,
+on smaller 64-node instances of both network families.
+
+Run:  python examples/collectives.py
+"""
+
+from repro.sim.run import cube_config, tree_config
+from repro.workloads import (
+    alltoall_trace,
+    broadcast_trace,
+    butterfly_barrier_trace,
+    run_trace,
+)
+
+# 64-node siblings of the paper networks keep the example under a minute
+TREE = tree_config(k=4, n=3, vcs=4)  # 64-node quaternary fat-tree
+CUBE = cube_config(k=8, n=2, algorithm="duato")  # 64-node 2-D torus
+N = 64
+
+
+def show(name, trace_tree, trace_cube):
+    tree = run_trace(TREE, trace_tree)
+    cube = run_trace(CUBE, trace_cube)
+    print(f"{name}:")
+    print(
+        f"  tree: {tree.makespan_cycles:>6} cycles makespan, "
+        f"{tree.aggregate_flits_per_cycle:6.1f} flits/cycle, "
+        f"avg msg latency {tree.avg_latency_cycles:6.1f}"
+    )
+    print(
+        f"  cube: {cube.makespan_cycles:>6} cycles makespan, "
+        f"{cube.aggregate_flits_per_cycle:6.1f} flits/cycle, "
+        f"avg msg latency {cube.avg_latency_cycles:6.1f}\n"
+    )
+
+
+def main() -> None:
+    print(f"Collective phases on 64-node networks ({N * (N - 1)} messages for all-to-all)\n")
+    # message sizes follow the paper's normalization: 64-byte packets are
+    # 32 flits on the tree, 16 on the cube
+    show(
+        "all-to-all (shifted schedule)",
+        alltoall_trace(N, flits=32, schedule="shifted"),
+        alltoall_trace(N, flits=16, schedule="shifted"),
+    )
+    show(
+        "all-to-all (naive destination order)",
+        alltoall_trace(N, flits=32, schedule="naive"),
+        alltoall_trace(N, flits=16, schedule="naive"),
+    )
+    show(
+        "butterfly barrier (6 rounds)",
+        butterfly_barrier_trace(N, flits=32),
+        butterfly_barrier_trace(N, flits=16),
+    )
+    show(
+        "binomial broadcast",
+        broadcast_trace(N, flits=32),
+        broadcast_trace(N, flits=16),
+    )
+    print("Note how the schedule matters as much as the topology: the")
+    print("shifted all-to-all turns each round into a permutation and")
+    print("drains markedly faster than the naive destination order.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""The paper's headline experiment in miniature (§10, Figure 7).
+
+Runs all five routing configurations — cube deterministic, cube Duato,
+and the fat-tree with 1/2/4 virtual channels — under a chosen traffic
+pattern, then converts to absolute units (bits/ns, ns) with each
+configuration's own clock period from Chien's cost model.
+
+Run:  python examples/compare_networks.py [uniform|complement|transpose|bitrev]
+
+Expected shapes (paper §10): the cube wins uniform traffic; the tree wins
+complement; transpose/bitrev split the configurations into a fast class
+{cube Duato, tree 2vc, tree 4vc} and a slow class {cube deterministic,
+tree 1vc}.  Runtime: about a minute with the default profile.
+"""
+
+import sys
+
+from repro.experiments.fig7 import fig7_experiment
+from repro.experiments.report import render_comparison
+from repro.profiles import Profile
+
+# an example-sized profile: 5 loads, short windows
+PROFILE = Profile(name="example", warmup_cycles=200, total_cycles=1200, sweep_points=5)
+
+
+def main() -> None:
+    pattern = sys.argv[1] if len(sys.argv) > 1 else "uniform"
+    print(f"Running the five-configuration comparison on {pattern!r} traffic...")
+    print("(one 256-node flit-level simulation per configuration per load)\n")
+    result = fig7_experiment(pattern, PROFILE)
+    print(render_comparison(result))
+    print()
+    winner = max(result.saturation_summary().items(), key=lambda kv: kv[1])
+    print(f"highest saturation throughput: {winner[0]} at {winner[1]:.0f} bits/ns")
+
+
+if __name__ == "__main__":
+    main()

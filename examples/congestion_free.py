@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Congestion-free permutations on fat-trees (paper §8.1).
+
+The complement pattern saturates a k-ary n-tree near capacity with even a
+single virtual channel because it is *subtree preserving*: at every level
+each subtree maps into exactly one other subtree, so descending packets
+never compete for a down channel.  This example:
+
+1. classifies the paper's four patterns with
+   ``KAryNTree.is_congestion_free``;
+2. simulates a congestion-free and a congesting permutation with 1 VC and
+   shows the throughput gap the classification predicts.
+
+Run:  python examples/congestion_free.py
+"""
+
+from repro.sim.run import simulate, tree_config
+from repro.topology.tree import KAryNTree
+from repro.traffic.address import bit_complement, bit_reverse, bit_transpose
+
+WINDOWS = dict(warmup_cycles=250, total_cycles=1450, seed=31)
+
+
+def main() -> None:
+    topo = KAryNTree(4, 4)
+    nbits = 8
+    perms = {
+        "complement": [bit_complement(s, nbits) for s in range(256)],
+        "bitrev": [bit_reverse(s, nbits) for s in range(256)],
+        "transpose": [bit_transpose(s, nbits) for s in range(256)],
+        "identity": list(range(256)),
+    }
+    print("Subtree-preservation classification on the 4-ary 4-tree:")
+    for name, perm in perms.items():
+        print(f"  {name:<11}: congestion-free = {topo.is_congestion_free(perm)}")
+
+    print("\nSimulated with ONE virtual channel at 80% offered load:")
+    for pattern in ("complement", "bitrev"):
+        res = simulate(tree_config(vcs=1, pattern=pattern, load=0.8, **WINDOWS))
+        print(
+            f"  {pattern:<11}: accepted {res.accepted_fraction:.3f} of capacity, "
+            f"latency {res.avg_latency_cycles:.0f} cycles"
+        )
+    print("\nThe congestion-free pattern runs ~2-3x faster with the same")
+    print("hardware — the §8.1 argument for mapping regular communication")
+    print("onto subtree-preserving permutations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Plugging a custom traffic pattern into the simulator.
+
+Defines a new pattern — a block-cyclic "matrix redistribution" typical of
+parallel linear algebra (each node sends to the owner of its block under
+a different data layout) — registers it, and measures both networks'
+response.  Demonstrates the public extension point used by all built-in
+patterns.
+
+Run:  python examples/custom_pattern.py
+"""
+
+import random
+
+from repro.sim.run import cube_config, simulate, tree_config
+from repro.traffic.patterns import PATTERNS, PermutationPattern
+
+
+class BlockCyclicPattern(PermutationPattern):
+    """Redistribution from block to cyclic layout over `workers` owners.
+
+    Element i lives at node ``i // block`` under the block layout and at
+    node ``i % workers`` under the cyclic layout; each node sends its
+    block boundary element to the new owner.  With workers = sqrt(N) this
+    produces a structured many-to-few-to-many permutation-like pattern
+    with heavy overlap on a node subset — a classic redistribution storm.
+    """
+
+    name = "block_cyclic"
+
+    def __init__(self, num_nodes: int, workers: int | None = None):
+        super().__init__(num_nodes)
+        self.workers = workers or max(2, int(num_nodes**0.5))
+
+    def permute(self, source: int) -> int:
+        return (source * self.workers) % self.num_nodes or source
+
+
+def main() -> None:
+    # registering makes the pattern available to configs and the sweep
+    # machinery by name
+    PATTERNS[BlockCyclicPattern.name] = BlockCyclicPattern
+    windows = dict(warmup_cycles=250, total_cycles=1450, seed=7)
+
+    print("Block-cyclic redistribution on both 256-node networks:\n")
+    for load in (0.2, 0.4, 0.6):
+        tree = simulate(tree_config(vcs=4, pattern="block_cyclic", load=load, **windows))
+        cube = simulate(
+            cube_config(algorithm="duato", pattern="block_cyclic", load=load, **windows)
+        )
+        print(
+            f"  load {load:.1f}: tree accepted {tree.accepted_fraction:.3f}"
+            f" ({tree.avg_latency_cycles:.0f} cyc) | "
+            f"cube accepted {cube.accepted_fraction:.3f}"
+            f" ({cube.avg_latency_cycles:.0f} cyc)"
+        )
+
+    # sanity: the destination map really is what we think it is
+    pattern = BlockCyclicPattern(256)
+    rng = random.Random(0)
+    sample = [(s, pattern.destination(s, rng)) for s in (1, 2, 17)]
+    print(f"\nsample mappings (workers={pattern.workers}): {sample}")
+
+
+if __name__ == "__main__":
+    main()

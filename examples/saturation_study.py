@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Finding a network's saturation point (paper §6 methodology).
+
+Sweeps the offered load on one configuration, prints the CNF columns
+(offered, accepted, latency) and estimates the saturation point — "the
+minimum offered bandwidth where the accepted bandwidth is lower than the
+global packet creation rate".  Also demonstrates post-saturation
+stability, the property source throttling buys (§3).
+
+Run:  python examples/saturation_study.py [tree|cube]
+"""
+
+import sys
+
+from repro.experiments.report import render_table
+from repro.experiments.sweep import run_sweep
+from repro.metrics.saturation import (
+    post_saturation_stability,
+    saturation_point,
+    sustained_rate,
+)
+from repro.sim.run import cube_config, tree_config
+
+WINDOWS = dict(warmup_cycles=250, total_cycles=1450, seed=29)
+LOADS = [0.1, 0.3, 0.5, 0.65, 0.8, 1.0]
+
+
+def main() -> None:
+    network = sys.argv[1] if len(sys.argv) > 1 else "cube"
+    if network == "tree":
+        factory = lambda load: tree_config(vcs=4, load=load, **WINDOWS)  # noqa: E731
+        title = "4-ary 4-tree, adaptive routing, 4 VCs, uniform traffic"
+    else:
+        factory = lambda load: cube_config(algorithm="duato", load=load, **WINDOWS)  # noqa: E731
+        title = "16-ary 2-cube, Duato adaptive routing, uniform traffic"
+
+    print(f"Sweeping offered load: {title}\n")
+    series = run_sweep(factory, LOADS, label=network)
+
+    rows = [
+        [p.offered, p.offered_measured, p.accepted, p.latency_cycles]
+        for p in series.points
+    ]
+    print(render_table(["offered", "measured", "accepted", "latency (cyc)"], rows))
+    print()
+    print(f"saturation point:        {saturation_point(series):.3f} of capacity")
+    print(f"sustained rate beyond:   {sustained_rate(series):.3f} of capacity")
+    print(f"post-saturation spread:  {post_saturation_stability(series):.1%}")
+    print()
+    print("Note how accepted == offered below saturation and stays flat above")
+    print("it — the stability §6 attributes to source throttling.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+This environment has no `wheel` package and no network access, so PEP 660
+editable installs (pip install -e .) cannot build; `python setup.py develop`
+still works and is what the Makefile-style instructions fall back to.
+All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

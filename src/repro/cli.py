@@ -1,0 +1,287 @@
+"""Command-line interface: ``repro-net`` / ``python -m repro``.
+
+Subcommands:
+
+* ``run`` — one simulation point, printing the §6 metrics;
+* ``sweep`` — a load sweep for one configuration (one CNF curve);
+* ``fig5`` / ``fig6`` / ``fig7`` — regenerate a paper figure's series
+  (``--plot`` adds terminal scatter plots for fig5/fig6);
+* ``tables`` — print Tables 1 and 2 next to the paper's values;
+* ``drain`` — batch-drain one full permutation and report the makespan;
+* ``find-sat`` — bisect the offered load for the saturation point;
+* ``dimensions`` — the cube-dimensionality study (§11 outlook);
+* ``info`` — topology/normalization facts for a network.
+
+Examples::
+
+    repro-net run --network cube --algorithm duato --load 0.5
+    repro-net fig6 --pattern complement --profile fast --plot
+    repro-net drain --network tree --pattern bitrev
+    repro-net tables
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .errors import ReproError
+from .experiments.dimension import dimension_study
+from .experiments.drain import drain_permutation
+from .experiments.fig5 import fig5_experiment
+from .experiments.fig6 import fig6_experiment
+from .experiments.fig7 import fig7_experiment
+from .experiments.report import (
+    render_ascii_plot,
+    render_cnf,
+    render_comparison,
+    render_delay_table,
+)
+from .experiments.search import find_saturation
+from .experiments.sweep import default_loads, run_sweep
+from .experiments.tables import table1_rows, table2_rows
+from .profiles import get_profile
+from .sim.run import cube_config, simulate, tree_config
+from .timing.normalization import cube_scaling, equal_cost_pairs, tree_scaling
+from .topology.cube import KAryNCube
+from .topology.tree import KAryNTree
+from .traffic.patterns import PATTERNS
+
+
+def _add_common(p: argparse.ArgumentParser, with_algo: bool = True) -> None:
+    p.add_argument("--network", choices=("tree", "cube"), default="tree")
+    p.add_argument("--k", type=int, default=None, help="radix (default: paper network)")
+    p.add_argument("--n", type=int, default=None, help="dimension/levels")
+    if with_algo:
+        p.add_argument(
+            "--algorithm",
+            default=None,
+            help="tree_adaptive (tree) or dor/duato (cube); default per network",
+        )
+    p.add_argument("--vcs", type=int, default=4)
+    p.add_argument("--pattern", choices=sorted(PATTERNS), default="uniform")
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--profile", default=None, help="fast, default or full")
+
+
+def _make_config(args, load: float):
+    profile = get_profile(args.profile)
+    common = dict(
+        vcs=args.vcs,
+        pattern=args.pattern,
+        load=load,
+        seed=args.seed,
+        warmup_cycles=profile.warmup_cycles,
+        total_cycles=profile.total_cycles,
+    )
+    if args.network == "tree":
+        return tree_config(k=args.k or 4, n=args.n or 4, **common)
+    algorithm = getattr(args, "algorithm", None) or "duato"
+    return cube_config(k=args.k or 16, n=args.n or 2, algorithm=algorithm, **common)
+
+
+def cmd_run(args) -> int:
+    result = simulate(_make_config(args, args.load))
+    print(result.summary())
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    profile = get_profile(args.profile)
+    loads = default_loads(profile.sweep_points)
+    series = run_sweep(lambda load: _make_config(args, load), loads, label=args.pattern)
+    from .experiments.report import render_table
+    from .metrics.saturation import saturation_point
+
+    rows = [
+        [p.offered, p.offered_measured, p.accepted, p.latency_cycles, p.delivered_packets]
+        for p in series.points
+    ]
+    print(
+        render_table(
+            ["offered", "measured", "accepted", "latency_cyc", "packets"],
+            rows,
+            title=f"{args.network} sweep, {args.pattern} traffic",
+        )
+    )
+    print(f"saturation: {saturation_point(series):.3f} of capacity")
+    return 0
+
+
+def cmd_fig5(args) -> int:
+    cnf = fig5_experiment(args.pattern, get_profile(args.profile), seed=args.seed)
+    print(render_cnf(cnf))
+    if getattr(args, "plot", False):
+        print()
+        print(render_ascii_plot(cnf, "accepted"))
+        print()
+        print(render_ascii_plot(cnf, "latency"))
+    return 0
+
+
+def cmd_fig6(args) -> int:
+    cnf = fig6_experiment(args.pattern, get_profile(args.profile), seed=args.seed)
+    print(render_cnf(cnf))
+    if getattr(args, "plot", False):
+        print()
+        print(render_ascii_plot(cnf, "accepted"))
+        print()
+        print(render_ascii_plot(cnf, "latency"))
+    return 0
+
+
+def cmd_fig7(args) -> int:
+    print(render_comparison(fig7_experiment(args.pattern, get_profile(args.profile))))
+    return 0
+
+
+def cmd_drain(args) -> int:
+    result = drain_permutation(_make_config(args, load=0.0))
+    print(f"pattern:         {args.pattern}")
+    print(f"packets drained: {result.packets}")
+    print(f"makespan:        {result.makespan_cycles} cycles")
+    print(f"avg latency:     {result.avg_latency_cycles:.1f} cycles")
+    print(f"max latency:     {result.max_latency_cycles} cycles")
+    print(f"throughput:      {result.throughput_flits_per_cycle:.2f} flits/cycle aggregate")
+    return 0
+
+
+def cmd_find_sat(args) -> int:
+    estimate = find_saturation(
+        lambda load: _make_config(args, load),
+        resolution=args.resolution,
+    )
+    print(
+        f"saturation: {estimate.load:.3f} of capacity "
+        f"(bracket [{estimate.lo:.3f}, {estimate.hi:.3f}], "
+        f"{estimate.evaluations} simulations)"
+    )
+    return 0
+
+
+def cmd_dimensions(args) -> int:
+    from .experiments.report import render_table
+
+    rows = dimension_study(
+        algorithm=args.algorithm or "duato",
+        pattern=args.pattern,
+        profile=get_profile(args.profile),
+    )
+    print(
+        render_table(
+            ["shape", "flit B", "wires", "T_clock ns", "sat bits/ns", "latency ns"],
+            [
+                [
+                    r.variant.label,
+                    r.variant.flit_bytes,
+                    r.variant.wire.value,
+                    round(r.variant.clock_ns, 2),
+                    round(r.saturation_bits_per_ns, 1),
+                    round(r.low_load_latency_ns, 1),
+                ]
+                for r in rows
+            ],
+            title="Cube dimensionality under physical constraints (N=256)",
+        )
+    )
+    return 0
+
+
+def cmd_tables(args) -> int:
+    print(render_delay_table(table1_rows(), "Table 1 — 16-ary 2-cube routing delays (ns)"))
+    print()
+    print(render_delay_table(table2_rows(), "Table 2 — 4-ary 4-tree routing delays (ns)"))
+    return 0
+
+
+def cmd_info(args) -> int:
+    if args.network == "tree":
+        topo = KAryNTree(args.k or 4, args.n or 4)
+        scaling = tree_scaling(topo.k, topo.n)
+    else:
+        topo = KAryNCube(args.k or 16, args.n or 2)
+        scaling = cube_scaling(topo.k, topo.n)
+    print(topo.describe())
+    print(f"flit width:        {scaling.flit_bytes} bytes")
+    print(f"packet length:     {scaling.packet_flits} flits (64 bytes)")
+    print(f"node capacity:     {scaling.capacity_flits_per_cycle} flits/cycle (§5)")
+    print("equal-cost pairs (§5):")
+    for entry in equal_cost_pairs(max_nodes=4000):
+        print(f"  N={entry['nodes']}: tree {entry['tree']}, cubes {entry['cubes']}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-net",
+        description=(
+            "Reproduction of 'Network Performance under Physical Constraints' "
+            "(Petrini & Vanneschi, ICPP 1997)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="simulate one offered-load point")
+    _add_common(p)
+    p.add_argument("--load", type=float, default=0.5, help="fraction of capacity")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("sweep", help="run a load sweep for one configuration")
+    _add_common(p)
+    p.set_defaults(func=cmd_sweep)
+
+    for name, func, help_ in (
+        ("fig5", cmd_fig5, "fat-tree CNF curves (Figure 5)"),
+        ("fig6", cmd_fig6, "cube CNF curves (Figure 6)"),
+        ("fig7", cmd_fig7, "absolute comparison (Figure 7)"),
+    ):
+        p = sub.add_parser(name, help=help_)
+        p.add_argument(
+            "--pattern",
+            choices=("uniform", "complement", "transpose", "bitrev"),
+            default="uniform",
+        )
+        p.add_argument("--profile", default=None)
+        p.add_argument("--seed", type=int, default=11 if name == "fig5" else 13)
+        if name != "fig7":
+            p.add_argument("--plot", action="store_true", help="add terminal scatter plots")
+        p.set_defaults(func=func)
+
+    p = sub.add_parser("drain", help="batch-drain one full permutation")
+    _add_common(p)
+    p.set_defaults(func=cmd_drain)
+
+    p = sub.add_parser("find-sat", help="bisect the saturation point")
+    _add_common(p)
+    p.add_argument("--resolution", type=float, default=0.02)
+    p.set_defaults(func=cmd_find_sat)
+
+    p = sub.add_parser("dimensions", help="cube dimensionality study (§11)")
+    p.add_argument("--pattern", choices=("uniform", "complement"), default="uniform")
+    p.add_argument("--algorithm", choices=("dor", "duato"), default="duato")
+    p.add_argument("--profile", default=None)
+    p.set_defaults(func=cmd_dimensions)
+
+    p = sub.add_parser("tables", help="print Tables 1 and 2 (Chien cost model)")
+    p.set_defaults(func=cmd_tables)
+
+    p = sub.add_parser("info", help="topology and normalization facts")
+    p.add_argument("--network", choices=("tree", "cube"), default="tree")
+    p.add_argument("--k", type=int, default=None)
+    p.add_argument("--n", type=int, default=None)
+    p.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

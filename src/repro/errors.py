@@ -1,0 +1,56 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch package failures with a single
+``except`` clause while letting programming errors (``TypeError`` etc.)
+propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class TopologyError(ReproError):
+    """Invalid topology parameters or malformed topology queries.
+
+    Raised, for example, when a k-ary n-tree is requested with ``k < 2`` or
+    when a node id outside ``[0, N)`` is passed to a coordinate helper.
+    """
+
+
+class RoutingError(ReproError):
+    """A routing algorithm was asked to route an impossible request.
+
+    This indicates an internal inconsistency (e.g. a packet whose current
+    switch is not on any minimal path to its destination) and should never
+    occur during a well-formed simulation.
+    """
+
+
+class ConfigurationError(ReproError):
+    """Invalid simulation or experiment configuration values."""
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an inconsistent runtime state.
+
+    The engine performs cheap invariant checks (credit underflow, buffer
+    overflow, livelock watchdog); a violation raises this error rather than
+    silently corrupting statistics.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The progress watchdog concluded the network is deadlocked.
+
+    The routing algorithms implemented here are deadlock-free by
+    construction, so this error signals an implementation bug (or a custom
+    user routing function that is not deadlock-free).
+    """
+
+
+class AnalysisError(ReproError):
+    """Post-processing failure, e.g. saturation requested on an empty sweep."""

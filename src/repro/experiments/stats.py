@@ -1,0 +1,104 @@
+"""Replicated runs and confidence intervals.
+
+A single simulation point is one realization of a stochastic process
+(Bernoulli sources, random tie-breaking).  For publication-grade numbers
+the point should be replicated over independent seeds; this module runs
+the replications and summarizes accepted bandwidth and latency with
+Student-t confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from ..errors import AnalysisError, ConfigurationError
+from ..sim.config import SimulationConfig
+from .sweep import run_point
+
+#: two-sided 95% Student-t critical values for 1..30 degrees of freedom
+_T95 = [
+    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+    2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+    2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+]
+
+
+@dataclass(frozen=True)
+class Estimate:
+    """Mean with a symmetric 95% confidence half-width."""
+
+    mean: float
+    half_width: float
+    samples: int
+
+    @property
+    def lo(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def hi(self) -> float:
+        return self.mean + self.half_width
+
+    def __str__(self) -> str:  # pragma: no cover - formatting sugar
+        return f"{self.mean:.4f} ± {self.half_width:.4f} (n={self.samples})"
+
+
+def t_confidence(values: Sequence[float]) -> Estimate:
+    """95% Student-t interval for the mean of i.i.d. replications.
+
+    Raises:
+        AnalysisError: with fewer than two samples (no variance estimate).
+    """
+    n = len(values)
+    if n < 2:
+        raise AnalysisError(f"confidence interval needs >= 2 samples, got {n}")
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / (n - 1)
+    dof = n - 1
+    t = _T95[dof - 1] if dof <= len(_T95) else 1.96
+    return Estimate(mean=mean, half_width=t * math.sqrt(var / n), samples=n)
+
+
+@dataclass(frozen=True)
+class ReplicatedPoint:
+    """Summary of one offered-load point over independent seeds."""
+
+    load: float
+    accepted: Estimate
+    latency_cycles: Estimate | None  # None if any replication starved
+
+
+def replicate_point(
+    config_factory: Callable[[int], SimulationConfig],
+    seeds: Sequence[int],
+) -> ReplicatedPoint:
+    """Run one point once per seed and summarize.
+
+    Args:
+        config_factory: seed -> run recipe (the caller fixes the load and
+            windows; only the seed varies).
+        seeds: independent replication seeds (>= 2).
+    """
+    if len(seeds) < 2:
+        raise ConfigurationError("replication needs at least 2 seeds")
+    accepted = []
+    latencies = []
+    load = None
+    for seed in seeds:
+        result = run_point(config_factory(seed))
+        if load is None:
+            load = result.config.load
+        elif result.config.load != load:
+            raise ConfigurationError("config_factory must keep the load fixed")
+        accepted.append(result.accepted_fraction)
+        if result.delivered_packets:
+            latencies.append(result.avg_latency_cycles)
+    return ReplicatedPoint(
+        load=load,
+        accepted=t_confidence(accepted),
+        latency_cycles=(
+            t_confidence(latencies) if len(latencies) == len(seeds) else None
+        ),
+    )

@@ -1,0 +1,122 @@
+"""Offered-load sweeps.
+
+A sweep runs one simulation per offered-load point and assembles a
+:class:`~repro.metrics.series.LoadSweepSeries`.  Two execution modes:
+
+* **serial** (default) — one process; right for the single-CPU benchmark
+  environment and for reproducibility layering.
+* **process pool** — ``parallel=True`` fans points out over
+  ``ProcessPoolExecutor`` workers (simulation points are embarrassingly
+  parallel, the classic HPC sweep shape); results are identical because
+  every point carries its own seeded RNG streams.
+
+Completed points are memoized in an in-process cache keyed by the full
+run recipe, so the Figure 7 comparison reuses the raw runs of Figures 5
+and 6 instead of simulating everything twice.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+from ..errors import ConfigurationError
+from ..metrics.series import LoadSweepSeries
+from ..sim.config import SimulationConfig
+from ..sim.results import RunResult
+from ..sim.run import simulate
+
+#: in-process memo: cache key -> RunResult
+_CACHE: dict[tuple, RunResult] = {}
+
+
+def _cache_key(config: SimulationConfig) -> tuple:
+    return (
+        config.network,
+        config.k,
+        config.n,
+        config.algorithm,
+        config.vcs,
+        config.buffer_flits,
+        config.packet_flits,
+        config.pattern,
+        tuple(sorted(config.pattern_kwargs.items())),
+        round(config.load, 9),
+        config.warmup_cycles,
+        config.total_cycles,
+        config.seed,
+    )
+
+
+def clear_cache() -> int:
+    """Drop all memoized runs; returns how many were dropped."""
+    n = len(_CACHE)
+    _CACHE.clear()
+    return n
+
+
+def run_point(config: SimulationConfig, use_cache: bool = True) -> RunResult:
+    """Simulate one point, memoizing the result."""
+    key = _cache_key(config)
+    if use_cache and key in _CACHE:
+        return _CACHE[key]
+    result = simulate(config)
+    if use_cache:
+        _CACHE[key] = result
+    return result
+
+
+def default_loads(points: int, lo: float = 0.1, hi: float = 1.0) -> list[float]:
+    """Evenly spaced offered-load grid, as in the paper's CNF x-axis."""
+    if points < 2:
+        raise ConfigurationError(f"a sweep needs >= 2 points, got {points}")
+    step = (hi - lo) / (points - 1)
+    return [round(lo + i * step, 6) for i in range(points)]
+
+
+def run_sweep(
+    config_factory: Callable[[float], SimulationConfig],
+    loads: Sequence[float],
+    label: str,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    use_cache: bool = True,
+) -> LoadSweepSeries:
+    """Run one configuration over a load grid.
+
+    Args:
+        config_factory: maps an offered load (fraction of capacity) to a
+            full run recipe.
+        loads: the offered-load grid.
+        label: legend label for the resulting series.
+        parallel: fan points out over a process pool.
+        max_workers: pool size; defaults to ``os.cpu_count()``.
+        use_cache: memoize/reuse identical points within this process.
+    """
+    if not loads:
+        raise ConfigurationError("empty load grid")
+    configs = [config_factory(load) for load in loads]
+    sample = configs[0]
+    series = LoadSweepSeries(
+        label=label,
+        network=sample.network,
+        algorithm=sample.algorithm,
+        vcs=sample.vcs,
+        pattern=sample.pattern,
+    )
+    if parallel and len(configs) > 1:
+        pending = [c for c in configs if _cache_key(c) not in _CACHE or not use_cache]
+        done = [c for c in configs if c not in pending]
+        workers = max_workers or os.cpu_count() or 1
+        with ProcessPoolExecutor(max_workers=min(workers, len(pending) or 1)) as pool:
+            for config, result in zip(pending, pool.map(simulate, pending)):
+                if use_cache:
+                    _CACHE[_cache_key(config)] = result
+                series.add(result)
+        for config in done:
+            series.add(_CACHE[_cache_key(config)])
+    else:
+        for config in configs:
+            series.add(run_point(config, use_cache=use_cache))
+    return series

@@ -1,0 +1,79 @@
+"""Tables 1 and 2 — router delays from Chien's model (paper §5).
+
+These are analytic (no simulation): the rows are produced directly from
+:mod:`repro.timing.chien` in the paper's layout, with the model parameters
+(F, P, V) echoed for transparency.
+"""
+
+from __future__ import annotations
+
+from ..timing.chien import (
+    cube_crossbar_ports,
+    cube_freedom_deterministic,
+    cube_freedom_duato,
+    table1_cube_delays,
+    table2_tree_delays,
+    tree_crossbar_ports,
+    tree_freedom_adaptive,
+)
+
+#: the paper's printed values, for side-by-side reporting
+PAPER_TABLE1 = {
+    "deterministic": (5.9, 5.85, 6.34, 6.34),
+    "duato": (7.8, 5.85, 6.34, 7.8),
+}
+PAPER_TABLE2 = {
+    1: (8.06, 5.2, 9.64, 9.64),
+    2: (9.26, 5.8, 10.24, 10.24),
+    4: (10.46, 6.4, 10.84, 10.84),
+}
+
+
+def table1_rows(n: int = 2, vcs: int = 4) -> list[dict]:
+    """Table 1 rows: cube algorithms — T_routing, T_crossbar, T_link^s, T_clock."""
+    delays = table1_cube_delays(n, vcs)
+    freedoms = {
+        "deterministic": cube_freedom_deterministic(vcs),
+        "duato": cube_freedom_duato(n, vcs),
+    }
+    rows = []
+    for name, d in delays.items():
+        r, c, l, clk = d.rounded()
+        rows.append(
+            {
+                "algorithm": name,
+                "F": freedoms[name],
+                "P": cube_crossbar_ports(n, vcs),
+                "V": vcs,
+                "T_routing": r,
+                "T_crossbar": c,
+                "T_link": l,
+                "T_clock": clk,
+                "limiting": d.limiting_factor(),
+                "paper": PAPER_TABLE1.get(name),
+            }
+        )
+    return rows
+
+
+def table2_rows(k: int = 4, vc_variants: tuple[int, ...] = (1, 2, 4)) -> list[dict]:
+    """Table 2 rows: tree VC variants — T_routing, T_crossbar, T_link^m, T_clock."""
+    delays = table2_tree_delays(k, vc_variants)
+    rows = []
+    for vcs, d in delays.items():
+        r, c, l, clk = d.rounded()
+        rows.append(
+            {
+                "algorithm": f"adaptive, {vcs} vc",
+                "F": tree_freedom_adaptive(k, vcs),
+                "P": tree_crossbar_ports(k, vcs),
+                "V": vcs,
+                "T_routing": r,
+                "T_crossbar": c,
+                "T_link": l,
+                "T_clock": clk,
+                "limiting": d.limiting_factor(),
+                "paper": PAPER_TABLE2.get(vcs),
+            }
+        )
+    return rows

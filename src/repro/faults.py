@@ -1,0 +1,126 @@
+"""Fault injection for fat-trees.
+
+One of the operational arguments for fat-trees (CM-5 lineage, §1-2) is
+graceful degradation: the ascending phase is adaptive, so a failed
+ascending channel is simply never chosen and the network keeps working at
+slightly reduced bandwidth.  This module injects exactly that fault
+class:
+
+* **what is modeled** — permanent faults of individual *ascending*
+  channel directions (switch up-port → parent).  The opposite
+  (descending) direction of the physical channel is kept alive: killing
+  a descending channel disconnects destinations on any up*/down* tree,
+  which is a repair problem rather than a routing one.
+* **safety argument** — up*/down* routing remains minimal, connected and
+  deadlock-free under ascending faults as long as every non-root switch
+  retains at least one live up port (any reachable ancestor set still
+  contains a common ancestor of every destination);
+  :func:`inject_tree_uplink_faults` enforces that invariant.
+* **who masks it** — the adaptive algorithm routes around faults with no
+  configuration; the deterministic source-digit baseline stalls forever
+  when its fixed port dies (the engine's watchdog turns that into a
+  :class:`~repro.errors.DeadlockError`), which the tests assert as the
+  expected contrast.
+
+Faults are injected into a built engine before (or between) runs by
+allocating the faulty lanes to a sentinel packet, making them permanently
+busy for routing without touching the hot paths.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .errors import ConfigurationError, SimulationError
+from .sim.engine import Engine
+from .sim.packet import Packet
+from .topology.tree import KAryNTree
+
+#: sentinel marking lanes dead; never moves, never delivered
+_FAULT_PACKET = Packet(pid=-1, src=0, dst=0, size=1 << 30, created=-1)
+
+
+def inject_tree_uplink_faults(
+    engine: Engine, faults: list[tuple[int, int]] | tuple[tuple[int, int], ...]
+) -> int:
+    """Disable the ascending directions listed as ``(switch, up_port)``.
+
+    Returns the number of channel directions disabled (duplicates are
+    collapsed).
+
+    Raises:
+        ConfigurationError: for non-tree engines, non-up ports, root
+            "external" ports, or fault sets that leave some switch with
+            no live up port.
+        SimulationError: when a targeted lane is already carrying traffic
+            (inject faults before running).
+    """
+    topo = engine.topology
+    if not isinstance(topo, KAryNTree):
+        raise ConfigurationError("up-link fault injection is defined for k-ary n-trees")
+    up_ports = set(topo.up_ports())
+    unique = sorted(set(map(tuple, faults)))
+    per_switch: dict[int, int] = {}
+    for switch, port in unique:
+        if not 0 <= switch < topo.num_switches:
+            raise ConfigurationError(f"switch {switch} out of range")
+        if port not in up_ports:
+            raise ConfigurationError(f"port {port} is not an up port (up: {sorted(up_ports)})")
+        if topo.level_of(switch) == topo.n - 1:
+            raise ConfigurationError(
+                f"switch {switch} is a root; its up ports carry no traffic"
+            )
+        per_switch[switch] = per_switch.get(switch, 0) + 1
+    for switch, count in per_switch.items():
+        if count >= topo.k:
+            raise ConfigurationError(
+                f"switch {switch} would lose all {topo.k} up ports; "
+                "the tree must keep at least one live ascent per switch"
+            )
+    for switch, port in unique:
+        for lane in engine.out_lanes[switch][port]:
+            if lane.packet is not None and lane.packet is not _FAULT_PACKET:
+                raise SimulationError(
+                    f"lane {lane!r} is carrying traffic; inject faults before running"
+                )
+            lane.packet = _FAULT_PACKET
+    return len(unique)
+
+
+def random_uplink_faults(
+    topo: KAryNTree, count: int, seed: int = 0
+) -> list[tuple[int, int]]:
+    """Draw ``count`` distinct ascending-channel faults, safely spread.
+
+    Guarantees the at-least-one-live-up-port invariant by never drawing
+    more than ``k - 1`` faults on one switch.
+
+    Raises:
+        ConfigurationError: when ``count`` exceeds the safely failable
+            channel population ``(n-1) · k**(n-1) · (k-1)``.
+    """
+    if not isinstance(topo, KAryNTree):
+        raise ConfigurationError("expected a KAryNTree")
+    candidates = [
+        (s, p)
+        for s in range(topo.num_switches)
+        if topo.level_of(s) < topo.n - 1
+        for p in topo.up_ports()
+    ]
+    max_safe = (topo.n - 1) * topo.switches_per_level * (topo.k - 1)
+    if not 0 <= count <= max_safe:
+        raise ConfigurationError(
+            f"count {count} outside [0, {max_safe}] safely failable channels"
+        )
+    rng = random.Random(seed)
+    rng.shuffle(candidates)
+    chosen: list[tuple[int, int]] = []
+    per_switch: dict[int, int] = {}
+    for switch, port in candidates:
+        if len(chosen) == count:
+            break
+        if per_switch.get(switch, 0) >= topo.k - 1:
+            continue
+        chosen.append((switch, port))
+        per_switch[switch] = per_switch.get(switch, 0) + 1
+    return chosen

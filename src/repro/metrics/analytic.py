@@ -1,0 +1,84 @@
+"""Closed-form zero-load latency model, validated against the simulator.
+
+With the §5 normalization every pipeline stage is one clock, so an
+uncontended packet crossing ``c`` channels (node links included) and
+``c − 1`` switches has network latency
+
+    L0(c, S) = c·T_link + (c−1)·(T_routing + T_crossbar) + (S−1)·T_link
+             = 3c + S − 4            [cycles]
+
+where S is the packet length in flits: the header pays one link stage per
+channel plus routing and crossbar at every switch, and the tail trails the
+header by S−1 cycles at one flit per cycle.  The engine reproduces this
+exactly (see tests/test_engine.py::TestZeroLoadLatency), which pins down
+the pipeline depth of the model.
+
+The expected zero-load *average* latency under a traffic pattern follows
+by averaging over the pattern's distance distribution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from ..errors import AnalysisError
+from ..topology.base import Topology
+from ..topology.cube import KAryNCube
+from ..topology.tree import KAryNTree
+
+
+def zero_load_latency(channels: int, packet_flits: int) -> int:
+    """Uncontended network latency in cycles for a path of ``channels`` hops.
+
+    Args:
+        channels: channels traversed, node links included (tree distance
+            ``2l+2``; cube router hops plus the injection and ejection
+            channels).
+        packet_flits: packet length S.
+
+    Raises:
+        AnalysisError: for a zero-channel path (src == dst never enters
+            the network).
+    """
+    if channels < 1:
+        raise AnalysisError(f"a network path needs >= 1 channel, got {channels}")
+    if packet_flits < 1:
+        raise AnalysisError(f"packet needs >= 1 flit, got {packet_flits}")
+    return 3 * channels + packet_flits - 4
+
+
+def path_channels(topo: Topology, src: int, dst: int) -> int:
+    """Channels (including node links) on a minimal path src→dst."""
+    if isinstance(topo, KAryNTree):
+        return topo.min_distance(src, dst)  # already counts node links
+    if isinstance(topo, KAryNCube):
+        return topo.min_distance(src, dst) + 2  # + injection and ejection
+    raise AnalysisError(f"no channel model for {type(topo).__name__}")
+
+
+def expected_zero_load_latency(
+    topo: Topology,
+    packet_flits: int,
+    mapping: Callable[[int], int] | None = None,
+) -> float:
+    """Average L0 over a permutation (or all ordered pairs when None).
+
+    Fixed points are excluded: they inject nothing.
+    """
+    total = 0.0
+    count = 0
+    if mapping is None:
+        pairs = (
+            (s, d)
+            for s in range(topo.num_nodes)
+            for d in range(topo.num_nodes)
+            if s != d
+        )
+    else:
+        pairs = ((s, mapping(s)) for s in range(topo.num_nodes) if mapping(s) != s)
+    for s, d in pairs:
+        total += zero_load_latency(path_channels(topo, s, d), packet_flits)
+        count += 1
+    if count == 0:
+        raise AnalysisError("no communicating pairs under this mapping")
+    return total / count

@@ -1,0 +1,110 @@
+"""Persistence of sweep results.
+
+Sweeps are expensive (minutes to hours at the full profile); these
+helpers serialize :class:`~repro.metrics.series.LoadSweepSeries` and
+:class:`~repro.metrics.cnf.CNFResult` to a stable JSON document so runs
+can be archived, diffed across code versions, and re-rendered without
+resimulation::
+
+    from repro.metrics.io import save_cnf, load_cnf
+    save_cnf(cnf, "fig6_uniform.json")
+    render_cnf(load_cnf("fig6_uniform.json"))
+
+The format is versioned; loading rejects documents from incompatible
+versions instead of misreading them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from ..errors import AnalysisError
+from .cnf import CNFResult
+from .series import LoadPoint, LoadSweepSeries
+
+#: bump on breaking format changes
+FORMAT_VERSION = 1
+
+
+def series_to_dict(series: LoadSweepSeries) -> dict:
+    """Plain-data form of one sweep series."""
+    return {
+        "label": series.label,
+        "network": series.network,
+        "algorithm": series.algorithm,
+        "vcs": series.vcs,
+        "pattern": series.pattern,
+        "points": [
+            {
+                "offered": p.offered,
+                "offered_measured": p.offered_measured,
+                "accepted": p.accepted,
+                "latency_cycles": p.latency_cycles,
+                "delivered_packets": p.delivered_packets,
+            }
+            for p in series.points
+        ],
+    }
+
+
+def series_from_dict(doc: dict) -> LoadSweepSeries:
+    """Inverse of :func:`series_to_dict` (validates field presence)."""
+    try:
+        series = LoadSweepSeries(
+            label=doc["label"],
+            network=doc["network"],
+            algorithm=doc["algorithm"],
+            vcs=doc["vcs"],
+            pattern=doc["pattern"],
+        )
+        series.points = [
+            LoadPoint(
+                offered=p["offered"],
+                offered_measured=p["offered_measured"],
+                accepted=p["accepted"],
+                latency_cycles=p["latency_cycles"],
+                delivered_packets=p["delivered_packets"],
+            )
+            for p in doc["points"]
+        ]
+    except (KeyError, TypeError) as exc:
+        raise AnalysisError(f"malformed series document: {exc}") from exc
+    return series
+
+
+def cnf_to_dict(result: CNFResult) -> dict:
+    return {
+        "format": FORMAT_VERSION,
+        "title": result.title,
+        "series": [series_to_dict(s) for s in result.series],
+    }
+
+
+def cnf_from_dict(doc: dict) -> CNFResult:
+    version = doc.get("format")
+    if version != FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported result format {version!r} (expected {FORMAT_VERSION})"
+        )
+    try:
+        return CNFResult(
+            title=doc["title"],
+            series=[series_from_dict(s) for s in doc["series"]],
+        )
+    except (KeyError, TypeError) as exc:
+        raise AnalysisError(f"malformed CNF document: {exc}") from exc
+
+
+def save_cnf(result: CNFResult, path: str | pathlib.Path) -> None:
+    """Write one experiment's series to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(cnf_to_dict(result), indent=1))
+
+
+def load_cnf(path: str | pathlib.Path) -> CNFResult:
+    """Read an experiment back; raises AnalysisError on malformed input."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot load CNF result from {path}: {exc}") from exc
+    return cnf_from_dict(doc)

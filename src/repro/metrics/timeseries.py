@@ -1,0 +1,64 @@
+"""Throughput time-series analysis (§6 stability, warm-up adequacy).
+
+The paper collects statistics only after a 2000-cycle warm-up and argues
+that throughput "remains stable after saturation".  With
+``SimulationConfig.interval_cycles`` set, a run records delivered flits
+per interval; these helpers quantify both properties:
+
+* :func:`timeline_stability` — relative spread of the interval
+  throughputs (0 = perfectly flat);
+* :func:`warmup_adequate` — whether the first measured interval already
+  matches the steady state (an inadequate warm-up shows up as a
+  depressed or inflated leading interval while the pipeline fills).
+"""
+
+from __future__ import annotations
+
+from ..errors import AnalysisError
+from ..sim.results import RunResult
+
+
+def interval_rates(result: RunResult) -> list[float]:
+    """Per-interval accepted bandwidth in flits/cycle/node."""
+    interval = result.config.interval_cycles
+    if not interval or not result.throughput_timeline:
+        raise AnalysisError(
+            "run has no throughput timeline (set config.interval_cycles)"
+        )
+    nodes = result.config.num_nodes
+    return [count / (interval * nodes) for count in result.throughput_timeline]
+
+
+def timeline_stability(result: RunResult) -> float:
+    """Relative spread (max-min)/mean of the interval throughputs.
+
+    Values below ~0.1 mean the run is effectively stationary; large
+    values flag either an inadequate warm-up or genuinely unstable
+    post-saturation behavior (which the paper's source-throttled
+    algorithms are designed to avoid).
+
+    Raises:
+        AnalysisError: without a timeline, or on an all-idle run.
+    """
+    rates = interval_rates(result)
+    mean = sum(rates) / len(rates)
+    if mean == 0:
+        raise AnalysisError("no traffic delivered; stability undefined")
+    return (max(rates) - min(rates)) / mean
+
+
+def warmup_adequate(result: RunResult, tol: float = 0.1) -> bool:
+    """True when the first interval is within ``tol`` of the rest's mean.
+
+    With fewer than three intervals the comparison is meaningless and an
+    AnalysisError is raised — use a longer window or shorter intervals.
+    """
+    rates = interval_rates(result)
+    if len(rates) < 3:
+        raise AnalysisError(
+            f"need >= 3 intervals to judge warm-up, got {len(rates)}"
+        )
+    rest = sum(rates[1:]) / (len(rates) - 1)
+    if rest == 0:
+        raise AnalysisError("no steady-state traffic; warm-up check undefined")
+    return abs(rates[0] - rest) <= tol * rest

@@ -1,0 +1,140 @@
+"""Channel utilization analysis.
+
+Every :class:`~repro.router.lane.LinkDirection` counts the flits it
+carried; these helpers turn the raw counters of a finished engine into
+the analyses behind the paper's arguments:
+
+* the cube's bisection channels are the bottleneck under complement
+  traffic (§5, §9) — :func:`cube_bisection_load` measures exactly the
+  traffic over the cut;
+* the tree spreads load across its levels (§8) — :func:`tree_level_loads`
+  exposes the per-level aggregate;
+* hot-channel statistics (:func:`channel_loads`, :func:`utilization_summary`)
+  quantify the imbalance adaptive routing is supposed to smooth out.
+
+Counters accumulate over the whole run (warm-up included), so use them
+for comparative statements rather than absolute rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from ..sim.engine import Engine
+from ..topology.cube import KAryNCube
+from ..topology.tree import KAryNTree
+
+
+@dataclass(frozen=True)
+class ChannelLoad:
+    """Flits carried by one unidirectional channel."""
+
+    switch: int
+    port: int
+    to_node: bool
+    flits: int
+    utilization: float  # flits per simulated cycle, in [0, 1]
+
+
+def channel_loads(engine: Engine) -> list[ChannelLoad]:
+    """Per-direction load snapshot, sorted hottest first."""
+    cycles = max(engine.cycle, 1)
+    loads = [
+        ChannelLoad(
+            switch=d.switch,
+            port=d.port,
+            to_node=d.to_node,
+            flits=d.flits,
+            utilization=d.flits / cycles,
+        )
+        for d in engine.dirs
+    ]
+    loads.sort(key=lambda c: c.flits, reverse=True)
+    return loads
+
+
+def utilization_summary(engine: Engine) -> dict[str, float]:
+    """Aggregate utilization statistics over the internal channels.
+
+    Returns mean, max and the max/mean imbalance ratio; node (ejection)
+    channels are excluded so the numbers describe the fabric itself.
+    """
+    internal = [c for c in channel_loads(engine) if not c.to_node]
+    if not internal:
+        raise AnalysisError("network has no internal channels")
+    values = [c.utilization for c in internal]
+    mean = sum(values) / len(values)
+    peak = max(values)
+    return {
+        "mean": mean,
+        "max": peak,
+        "imbalance": peak / mean if mean > 0 else float("inf"),
+    }
+
+
+def cube_bisection_load(engine: Engine, dim: int = 0) -> dict[str, float]:
+    """Traffic across the bisection of a k-ary n-cube along ``dim``.
+
+    The cut severs each ring of dimension ``dim`` between digits
+    ``k/2 - 1 | k/2`` and at the wrap-around ``k-1 | 0``.  Returns the
+    total crossing flits and the mean utilization of the crossing
+    channels — under complement traffic these approach 1.0 while the
+    fabric average stays far lower.
+    """
+    topo = engine.topology
+    if not isinstance(topo, KAryNCube):
+        raise AnalysisError("bisection load defined for cubes only")
+    if topo.k % 2:
+        raise AnalysisError("bisection needs an even radix")
+    half = topo.k // 2
+    crossing = []
+    for d in engine.dirs:
+        if d.to_node:
+            continue
+        port = d.port
+        if port // 2 != dim:
+            continue
+        digit = topo.digit(d.switch, dim)
+        direction = 1 if port % 2 == 0 else -1
+        dest_digit = (digit + direction) % topo.k
+        if (digit < half) != (dest_digit < half):
+            crossing.append(d)
+    if not crossing:
+        raise AnalysisError(f"no crossing channels found for dim {dim}")
+    cycles = max(engine.cycle, 1)
+    total = sum(d.flits for d in crossing)
+    return {
+        "channels": float(len(crossing)),
+        "flits": float(total),
+        "mean_utilization": total / (len(crossing) * cycles),
+    }
+
+
+def tree_level_loads(engine: Engine) -> dict[int, float]:
+    """Mean utilization of the tree's inter-level channels per level gap.
+
+    Key ``l`` covers the channels between switch levels ``l`` and
+    ``l+1``; key ``-1`` covers the node links.  On congestion-free
+    permutations the profile is flat; congesting permutations pile up in
+    the upper levels' descending channels.
+    """
+    topo = engine.topology
+    if not isinstance(topo, KAryNTree):
+        raise AnalysisError("level loads defined for trees only")
+    cycles = max(engine.cycle, 1)
+    sums: dict[int, list[int]] = {}
+    for d in engine.dirs:
+        if d.to_node:
+            key = -1
+        else:
+            level = topo.level_of(d.switch)
+            # a down-port direction descends from `level`; an up-port
+            # direction ascends towards `level + 1`
+            key = level - 1 if d.port < topo.k else level
+            if key == -1:
+                key = -1  # leaf down ports are node links (to_node) anyway
+        sums.setdefault(key, []).append(d.flits)
+    return {
+        key: sum(flits) / (len(flits) * cycles) for key, flits in sorted(sums.items())
+    }

@@ -1,0 +1,64 @@
+"""Fair arbitration helpers (paper §4: "an arbiter picks one of them
+according to a fair policy").
+
+The engine inlines round-robin scans in its hot loops; these helpers give
+the same policy a testable, reusable form and are used by the routing
+algorithms and slow paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def round_robin_pick(
+    items: Sequence[T], start: int, eligible: Callable[[T], bool]
+) -> tuple[int, T | None]:
+    """Pick the first eligible item scanning circularly from ``start``.
+
+    Returns ``(next_start, item)`` where ``next_start`` is the position
+    *after* the picked item (so consecutive calls rotate priority), or
+    ``(start, None)`` when nothing is eligible.
+    """
+    n = len(items)
+    if n == 0:
+        return start, None
+    start %= n
+    for off in range(n):
+        idx = (start + off) % n
+        item = items[idx]
+        if eligible(item):
+            return (idx + 1) % n, item
+    return start, None
+
+
+class RoundRobinArbiter:
+    """Stateful round-robin arbiter over a fixed population.
+
+    Keeps the rotation pointer between grants so every requester is served
+    within ``len(items)`` grants of becoming eligible (no starvation).
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"arbiter needs at least one input, got {size}")
+        self.size = size
+        self._next = 0
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        """Index of the granted requester, or None if no requests.
+
+        Args:
+            requests: one flag per input; length must equal ``size``.
+        """
+        if len(requests) != self.size:
+            raise ValueError(f"expected {self.size} request flags, got {len(requests)}")
+        for off in range(self.size):
+            idx = (self._next + off) % self.size
+            if requests[idx]:
+                self._next = (idx + 1) % self.size
+                return idx
+        return None

@@ -1,0 +1,228 @@
+"""Virtual-channel lanes and link directions (paper §4, Fig. 4).
+
+Wormhole switching allocates a virtual channel to one packet from header to
+tail, so a lane never interleaves flits of different packets and can be
+represented by counters instead of per-flit objects:
+
+* an :class:`InputLane` tracks how many flits of its current packet it has
+  ``received`` from the link and ``forwarded`` through the crossbar; the
+  buffered amount is ``received - forwarded`` and is bounded by ``cap``;
+* an :class:`OutputLane` tracks flits buffered after the crossbar and
+  ``sent`` on the link, plus the credit counter of §4: initialized to the
+  downstream input lane's buffer size, decremented per flit sent,
+  incremented per acknowledgment (the downstream crossbar forwarding a
+  flit).
+
+A :class:`LinkDirection` groups the output lanes multiplexed on one
+physical channel direction; the engine's link phase moves at most one flit
+per direction per cycle, chosen by a round-robin arbiter among lanes that
+have a flit and a credit.
+
+One modeled simplification (see DESIGN.md): an output lane is allocatable
+to a new packet only once its *downstream input lane* has fully drained the
+previous packet, so the (output lane → input lane) pair always carries a
+single packet.  With 4-flit buffers and 16/32-flit packets this removes an
+overlap window of at most 4 flits per hop, identically for both networks.
+"""
+
+from __future__ import annotations
+
+from ..errors import SimulationError
+from ..sim.packet import Packet
+
+
+class InputLane:
+    """Input buffer of one virtual channel at one switch port."""
+
+    __slots__ = (
+        "switch",
+        "port",
+        "vc",
+        "cap",
+        "packet",
+        "received",
+        "forwarded",
+        "bound",
+        "src_out",
+        "last_arrival",
+    )
+
+    def __init__(self, switch: int, port: int, vc: int, cap: int):
+        self.switch = switch
+        self.port = port
+        self.vc = vc
+        self.cap = cap
+        #: packet currently allocated to this lane (None = free)
+        self.packet: Packet | None = None
+        #: flits of the current packet received from the link so far
+        self.received = 0
+        #: flits forwarded through the crossbar so far
+        self.forwarded = 0
+        #: output lane this lane is bound to in the crossbar (None before
+        #: the header is routed)
+        self.bound: OutputLane | None = None
+        #: upstream output lane feeding this lane (None for injection
+        #: lanes, which are fed directly by the node)
+        self.src_out: OutputLane | None = None
+        #: cycle stamp of the most recent flit arrival, used to prevent a
+        #: flit from crossing link and crossbar in the same cycle
+        self.last_arrival = -1
+
+    @property
+    def buffered(self) -> int:
+        return self.received - self.forwarded
+
+    def has_space(self) -> bool:
+        return self.buffered < self.cap
+
+    def accept_flit(self, packet: Packet, cycle: int) -> bool:
+        """Receive one flit from the link; returns True if it was the header."""
+        if self.packet is None:
+            if self.received or self.forwarded:
+                raise SimulationError("free input lane with residual counters")
+            self.packet = packet
+            self.received = 1
+            self.last_arrival = cycle
+            return True
+        if packet is not self.packet:
+            raise SimulationError("flit of a different packet on an allocated lane")
+        if self.buffered >= self.cap:
+            raise SimulationError("input lane overflow (credit protocol violated)")
+        self.received += 1
+        self.last_arrival = cycle
+        return False
+
+    def release(self) -> None:
+        """Free the lane after the tail flit has been forwarded."""
+        if self.forwarded != (self.packet.size if self.packet else -1):
+            raise SimulationError("releasing an input lane before the tail")
+        self.packet = None
+        self.received = 0
+        self.forwarded = 0
+        self.bound = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pid = self.packet.pid if self.packet else None
+        return (
+            f"InputLane(sw={self.switch}, port={self.port}, vc={self.vc}, "
+            f"pkt={pid}, buf={self.buffered})"
+        )
+
+
+class OutputLane:
+    """Output buffer of one virtual channel at one switch port."""
+
+    __slots__ = (
+        "switch",
+        "port",
+        "vc",
+        "cap",
+        "packet",
+        "buffered",
+        "sent",
+        "credits",
+        "sink",
+        "direction",
+    )
+
+    def __init__(self, switch: int, port: int, vc: int, cap: int):
+        self.switch = switch
+        self.port = port
+        self.vc = vc
+        self.cap = cap
+        #: packet owning this lane (None = unallocated)
+        self.packet: Packet | None = None
+        #: flits buffered, waiting for the link
+        self.buffered = 0
+        #: flits of the current packet already sent on the link
+        self.sent = 0
+        #: free buffer slots at the downstream input lane (§4 ack counter)
+        self.credits = 0
+        #: downstream input lane (or EjectionLane) across the link
+        self.sink: InputLane | EjectionLane | None = None
+        #: link direction this lane is multiplexed onto
+        self.direction: LinkDirection | None = None
+
+    def is_free(self) -> bool:
+        """Allocatable to a new packet (see module docstring)."""
+        if self.packet is not None:
+            return False
+        sink = self.sink
+        return sink is None or sink.packet is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pid = self.packet.pid if self.packet else None
+        return (
+            f"OutputLane(sw={self.switch}, port={self.port}, vc={self.vc}, "
+            f"pkt={pid}, buf={self.buffered}, cred={self.credits})"
+        )
+
+
+class EjectionLane:
+    """Node-side sink of one virtual channel of the ejection channel.
+
+    The node consumes arriving flits immediately (the physical bottleneck
+    — one flit per cycle on the node link — is enforced by the link-phase
+    arbiter), so the lane only tracks reassembly progress of the current
+    packet.  Completion is reported to the engine via ``delivered``.
+    """
+
+    __slots__ = ("node", "packet", "received")
+
+    def __init__(self, node: int):
+        self.node = node
+        self.packet: Packet | None = None
+        self.received = 0
+
+    def accept_flit(self, packet: Packet, cycle: int) -> bool:
+        """Consume one flit; True when the tail arrives (packet complete)."""
+        if self.packet is None:
+            self.packet = packet
+            self.received = 1
+            packet.head_delivered = cycle
+        else:
+            if packet is not self.packet:
+                raise SimulationError("interleaved packets at an ejection lane")
+            self.received += 1
+        if self.received == packet.size:
+            if packet.head_delivered < 0:  # single-flit packets (tests)
+                packet.head_delivered = cycle
+            packet.delivered = cycle
+            self.packet = None
+            self.received = 0
+            return True
+        return False
+
+
+class LinkDirection:
+    """One direction of a physical channel: V output lanes, one flit/cycle.
+
+    ``nbusy`` counts member lanes with buffered flits so the engine's link
+    phase can skip idle directions with a single comparison; the engine
+    maintains it on every buffered-count 0↔1 transition.
+    """
+
+    __slots__ = ("lanes", "rr", "nbusy", "to_node", "flits")
+
+    def __init__(self, lanes: list[OutputLane], to_node: bool = False):
+        self.lanes = lanes
+        for lane in lanes:
+            lane.direction = self
+        #: round-robin pointer for the fair arbiter
+        self.rr = 0
+        #: number of lanes with buffered > 0
+        self.nbusy = 0
+        #: True for ejection channels (sinks are EjectionLanes)
+        self.to_node = to_node
+        #: flits transferred over this direction (utilization statistics)
+        self.flits = 0
+
+    @property
+    def switch(self) -> int:
+        """Sending switch of this direction."""
+        return self.lanes[0].switch
+
+    @property
+    def port(self) -> int:
+        """Sending port of this direction."""
+        return self.lanes[0].port

@@ -1,0 +1,30 @@
+"""Routing algorithms (paper §2–§3).
+
+Three algorithms cover the paper's five evaluated configurations:
+
+* :class:`~repro.routing.tree_adaptive.TreeAdaptiveRouting` — minimal
+  adaptive up*/down* routing on k-ary n-trees, run with 1, 2 and 4 virtual
+  channels (the ascending phase picks the least-loaded up link);
+* :class:`~repro.routing.dor.DimensionOrderRouting` — deterministic
+  dimension-order routing on k-ary n-cubes with two virtual networks
+  (Dally–Seitz wrap-around deadlock avoidance), 4 virtual channels;
+* :class:`~repro.routing.duato.DuatoAdaptiveRouting` — minimal adaptive
+  routing per Duato's methodology: two adaptive channels plus two escape
+  channels per link, non-monotonic channel allocation.
+"""
+
+from .base import ROUTING_ALGORITHMS, RoutingAlgorithm, make_routing
+from .dor import DimensionOrderRouting
+from .duato import DuatoAdaptiveRouting
+from .tree_adaptive import TreeAdaptiveRouting
+from .tree_deterministic import TreeDeterministicRouting
+
+__all__ = [
+    "ROUTING_ALGORITHMS",
+    "RoutingAlgorithm",
+    "make_routing",
+    "DimensionOrderRouting",
+    "DuatoAdaptiveRouting",
+    "TreeAdaptiveRouting",
+    "TreeDeterministicRouting",
+]

@@ -1,0 +1,83 @@
+"""Routing algorithm interface.
+
+A routing algorithm is consulted by the engine's routing phase: given the
+input lane whose head flit is an unrouted header, :meth:`select` must
+return a *free* output lane on a minimal path to the packet's destination
+(or the ejection channel when the packet has arrived), or ``None`` to
+stall the header for this cycle.  The engine retries stalled headers every
+cycle, so algorithms are stateless per attempt; adaptivity comes from
+inspecting current lane occupancy.
+
+Algorithms are bound to a live engine with :meth:`attach`, which hands
+them direct references to the engine's lane arrays — ``select`` runs in
+the hottest part of the simulation and must not go through indirection
+layers.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from ..errors import ConfigurationError
+from ..router.lane import InputLane, OutputLane
+from ..sim.packet import Packet
+
+
+class RoutingAlgorithm(ABC):
+    """Per-hop output-lane selection policy."""
+
+    #: registry identifier
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.engine = None
+        self.rng = random.Random(0)
+
+    def attach(self, engine) -> None:
+        """Bind to a live engine (called once, before the first cycle).
+
+        Stores the engine's output-lane table and a dedicated RNG stream
+        for fair tie-breaking.  Subclasses extend this with precomputed
+        per-switch tables.
+        """
+        self.engine = engine
+        self.out = engine.out_lanes
+        self.rng = random.Random(engine.config.seed ^ 0x9E3779B9)
+
+    @abstractmethod
+    def select(self, switch: int, inlane: InputLane, packet: Packet) -> OutputLane | None:
+        """Return a free output lane for this header, or None to stall."""
+
+    # -- shared helpers --------------------------------------------------------
+
+    def pick_free_lane(self, lanes: list[OutputLane]) -> OutputLane | None:
+        """Fair choice among the free lanes of one port (uniform random)."""
+        free = [lane for lane in lanes if lane.is_free()]
+        if not free:
+            return None
+        if len(free) == 1:
+            return free[0]
+        return free[self.rng.randrange(len(free))]
+
+
+#: name -> class registry, populated by the concrete modules' imports
+ROUTING_ALGORITHMS: dict[str, type[RoutingAlgorithm]] = {}
+
+
+def register(cls: type[RoutingAlgorithm]) -> type[RoutingAlgorithm]:
+    """Class decorator adding an algorithm to the registry."""
+    ROUTING_ALGORITHMS[cls.name] = cls
+    return cls
+
+
+def make_routing(name: str, **kwargs) -> RoutingAlgorithm:
+    """Instantiate a registered routing algorithm by name."""
+    try:
+        cls = ROUTING_ALGORITHMS[name]
+    except KeyError:
+        known = ", ".join(sorted(ROUTING_ALGORITHMS))
+        raise ConfigurationError(
+            f"unknown routing algorithm {name!r}; known: {known}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,93 @@
+"""Deterministic dimension-order routing on k-ary n-cubes (paper §3).
+
+Packets correct one dimension at a time, in fixed order (dimension 0
+first), always along a minimal direction (ties at exactly half the ring
+take the positive direction, keeping the path unique).  The wrap-around
+channels would close cyclic channel dependencies, so the classic
+Dally–Seitz construction doubles the virtual channels into **two virtual
+networks**: a packet uses the first virtual network until it crosses a
+wrap-around connection (in the dimension it is currently correcting) and
+the second afterwards.
+
+We use the equivalent position-based formulation: the virtual network is
+chosen from whether the *remaining* path in the current dimension still
+crosses the wrap-around — "will cross" selects network 0, "will not"
+network 1.  A minimal path crosses each wrap at most once, so this is
+exactly "switch networks upon crossing", without per-packet state.  With
+the paper's V = 4 each virtual network owns two virtual channels, giving
+routing freedom F = 2 (the two channels of the current network on the
+single allowed link).
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..router.lane import InputLane, OutputLane
+from ..sim.packet import Packet
+from ..topology.cube import KAryNCube
+from .base import RoutingAlgorithm, register
+
+
+class _CubeRoutingBase(RoutingAlgorithm):
+    """Shared cube helpers: coordinate math and the ejection channel."""
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        topo = engine.topology
+        if not isinstance(topo, KAryNCube):
+            raise ConfigurationError(f"{self.name} requires a KAryNCube topology")
+        self.topo = topo
+        self.k = topo.k
+        self.n = topo.n
+        self.eject_port = topo.ports_per_switch()
+        self._weight = topo._weight
+
+    def dor_hop(self, switch: int, dst: int) -> tuple[int, int, int] | None:
+        """Deterministic next hop: ``(dim, direction, virtual_network)``.
+
+        Returns None when ``switch == dst`` (time to eject).  The virtual
+        network is 0 while the remaining path in ``dim`` crosses the
+        wrap-around, 1 afterwards (see module docstring).
+        """
+        k = self.k
+        for dim in range(self.n):
+            w = self._weight[dim]
+            a = (switch // w) % k
+            b = (dst // w) % k
+            if a == b:
+                continue
+            delta = (b - a) % k
+            direction = 1 if delta * 2 <= k else -1
+            if direction == 1:
+                crosses = b < a
+            else:
+                crosses = b > a
+            return dim, direction, 0 if crosses else 1
+        return None
+
+    def eject(self, switch: int) -> OutputLane | None:
+        return self.pick_free_lane(self.out[switch][self.eject_port])
+
+
+@register
+class DimensionOrderRouting(_CubeRoutingBase):
+    """Dally–Seitz deterministic routing, two virtual networks."""
+
+    name = "dor"
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        if engine.config.vcs % 2:
+            raise ConfigurationError("dor needs an even number of VCs")
+        #: virtual channels per virtual network
+        self.half = engine.config.vcs // 2
+
+    def select(self, switch: int, inlane: InputLane, packet: Packet) -> OutputLane | None:
+        hop = self.dor_hop(switch, packet.dst)
+        if hop is None:
+            return self.eject(switch)
+        dim, direction, vn = hop
+        port = self.topo.port_for(dim, direction)
+        lanes = self.out[switch][port]
+        base = vn * self.half
+        return self.pick_free_lane(lanes[base : base + self.half])

@@ -1,0 +1,69 @@
+"""Deterministic (oblivious) routing on k-ary n-trees — a baseline.
+
+The paper evaluates only the adaptive up*/down* algorithm; this module
+adds the classic source-based deterministic baseline: during the
+ascending phase at level ``l`` the packet *always* takes up port
+
+    u_l = (src // k**l) mod k          — the source digit
+
+so every source owns a dedicated ascent tree and each (src, dst) pair
+uses exactly one path (source digits pick the NCA's butterfly identity).
+The descending phase is the usual deterministic digit-steered descent.
+Virtual channels on the chosen link are still picked fairly among the
+free ones (pure VC choice does not change the path).
+
+Source-based ascent is the strong oblivious choice: on subtree-preserving
+permutations (complement and the §8.1 congestion-free class) the packets
+entering any subtree come from one source subtree whose digits differ
+pairwise, so they land on pairwise distinct switches at every level and
+the pattern routes conflict-free even without adaptivity.  On uniform
+traffic, however, ascents from unrelated sources converge and nothing
+reroutes around the collision — the ablation benchmark
+``benchmarks/test_ablation_tree_routing.py`` quantifies the adaptivity
+gain over this baseline.
+
+Up*/down* ordering makes this deadlock-free for any VC count, like the
+adaptive variant.  Freedom for Chien's model is F = V (only the fixed
+link's lanes are candidates), so this router would actually clock
+*faster* than the adaptive one; the ablation accounts for that.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError
+from ..router.lane import InputLane, OutputLane
+from ..sim.packet import Packet
+from ..topology.tree import KAryNTree
+from .base import RoutingAlgorithm, register
+
+
+@register
+class TreeDeterministicRouting(RoutingAlgorithm):
+    """Source-digit ascent, digit-steered descent."""
+
+    name = "tree_deterministic"
+
+    def attach(self, engine) -> None:
+        super().attach(engine)
+        topo = engine.topology
+        if not isinstance(topo, KAryNTree):
+            raise ConfigurationError("tree_deterministic requires a KAryNTree topology")
+        self.topo = topo
+        self.k = topo.k
+        self._lo = topo._range_lo
+        self._hi = topo._range_hi
+        self._level = [topo.level_of(s) for s in range(topo.num_switches)]
+        self._weight = [self.k**lvl for lvl in self._level]
+
+    def select(self, switch: int, inlane: InputLane, packet: Packet) -> OutputLane | None:
+        dst = packet.dst
+        k = self.k
+        if self._lo[switch] <= dst < self._hi[switch]:
+            # descending: unique down port towards dst
+            port = (dst // self._weight[switch]) % k
+        else:
+            # ascending: fixed up port from the source digit at this
+            # level's weight — sources of one subtree fan out over
+            # distinct switches at every level above
+            port = k + (packet.src // self._weight[switch]) % k
+        return self.pick_free_lane(self.out[switch][port])

@@ -1,0 +1,25 @@
+"""Flit-level wormhole simulation engine (paper §4).
+
+* :mod:`repro.sim.packet` — packet bookkeeping.
+* :mod:`repro.sim.config` — :class:`SimulationConfig`, the complete recipe
+  for one run (network, routing, traffic, load, windows, seed).
+* :mod:`repro.sim.engine` — the three-phase cycle loop (link, crossbar,
+  routing) over the lane structures of :mod:`repro.router`.
+* :mod:`repro.sim.results` — raw per-run measurements.
+* :mod:`repro.sim.run` — :func:`simulate`, the one-call public entry point.
+"""
+
+from .config import SimulationConfig
+from .engine import Engine
+from .packet import Packet
+from .results import RunResult
+from .run import build_engine, simulate
+
+__all__ = [
+    "SimulationConfig",
+    "Engine",
+    "Packet",
+    "RunResult",
+    "build_engine",
+    "simulate",
+]

@@ -1,0 +1,551 @@
+"""The flit-level wormhole simulation engine (paper §4).
+
+Every clock cycle runs three phases, in an order that guarantees a flit
+advances through at most one pipeline stage per cycle (the §5
+normalization makes T_link = T_crossbar = T_routing = 1 clock):
+
+1. **Link phase** — for every unidirectional channel with buffered output
+   flits, a round-robin arbiter picks one output lane holding a flit and a
+   credit; that flit crosses to the downstream input lane (or ejection
+   lane).  Node injection runs in the same phase: each node streams at
+   most one flit per cycle of its current packet into an injection lane
+   (the single injection channel / source throttling of §3).
+2. **Crossbar phase** — every crossbar-bound (input → output) lane pair
+   forwards one flit if the output lane has space, returning a credit
+   upstream; flits that arrived in this cycle's link phase are held one
+   cycle (``last_arrival`` stamp).  Forwarding the tail releases the input
+   lane and the crossbar path.
+3. **Routing phase** — each switch routes at most one new header per
+   cycle; pending headers are served round-robin and a header that cannot
+   be routed (all candidate lanes busy) simply retries next cycle.
+
+The hot loops are deliberately written with inlined state updates (no
+method calls per flit): Python-level call overhead would dominate a
+256-node, 20000-cycle run otherwise.  The checked equivalents on the lane
+classes are exercised by the unit tests, and :meth:`Engine.audit` verifies
+the global invariants (buffer bounds, credit consistency, flit
+conservation) after any run.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigurationError, DeadlockError, SimulationError
+from ..router.lane import EjectionLane, InputLane, LinkDirection, OutputLane
+from ..routing.base import RoutingAlgorithm
+from ..topology.base import Topology
+from ..topology.cube import KAryNCube
+from ..traffic.generator import BernoulliInjector
+from .config import SimulationConfig
+from .packet import Packet
+from .results import RunResult
+
+#: effectively infinite credit for ejection channels (the node consumes
+#: flits as fast as the link can deliver them)
+_EJECT_CREDITS = 1 << 60
+
+
+class _Node:
+    """Per-node injection state: the single injection channel of §3."""
+
+    __slots__ = ("nid", "source", "lanes", "rr", "packet", "sent", "lane")
+
+    def __init__(self, nid: int, source, lanes: list[InputLane]):
+        self.nid = nid
+        self.source = source
+        #: injection lanes at the attached switch port
+        self.lanes = lanes
+        self.rr = 0
+        #: packet currently being streamed into the network
+        self.packet: Packet | None = None
+        self.sent = 0
+        self.lane: InputLane | None = None
+
+
+class Engine:
+    """One simulation run over a built network.
+
+    Args:
+        topology: the network under test.
+        routing: a routing algorithm compatible with the topology.
+        injector: per-node traffic sources.
+        config: run recipe (must be consistent with the other arguments).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        routing: RoutingAlgorithm,
+        injector: BernoulliInjector,
+        config: SimulationConfig,
+    ):
+        if injector.num_nodes != topology.num_nodes:
+            raise ConfigurationError(
+                f"injector built for {injector.num_nodes} nodes, "
+                f"topology has {topology.num_nodes}"
+            )
+        self.topology = topology
+        self.config = config
+        self.injector = injector
+        vcs = config.vcs
+        cap = config.buffer_flits
+
+        num_switches = topology.num_switches
+        base_ports = topology.ports_per_switch()
+        is_direct = isinstance(topology, KAryNCube)
+        total_ports = base_ports + (1 if is_direct else 0)
+
+        #: in_lanes[switch][port] -> list of InputLane (may be empty for
+        #: unused directions, e.g. root up-ports)
+        self.in_lanes: list[list[list[InputLane]]] = [
+            [[InputLane(s, p, v, cap) for v in range(vcs)] for p in range(total_ports)]
+            for s in range(num_switches)
+        ]
+        self.out_lanes: list[list[list[OutputLane]]] = [
+            [[OutputLane(s, p, v, cap) for v in range(vcs)] for p in range(total_ports)]
+            for s in range(num_switches)
+        ]
+
+        self.dirs: list[LinkDirection] = []
+        self._wire_switch_links(cap)
+        self._wire_node_links(cap, is_direct, vcs)
+        self._prune_unwired()
+
+        # routing bookkeeping
+        self.pending: list[list[InputLane]] = [[] for _ in range(num_switches)]
+        self.route_rr = [0] * num_switches
+        self._in_route_queue = [False] * num_switches
+        self.route_queue: list[int] = []
+        self.bindings: list[InputLane] = []
+
+        # statistics
+        self.cycle = 0
+        self.injected_packets_total = 0
+        self.delivered_packets_total = 0
+        self.injected_flits_total = 0
+        self.delivered_flits_total = 0
+        self.result = RunResult(config=config, measured_cycles=config.total_cycles - config.warmup_cycles)
+        #: flits delivered to each node during the measurement window
+        #: (fairness/hotspot analyses)
+        self.delivered_flits_per_node = [0] * topology.num_nodes
+        #: rolling counter behind RunResult.throughput_timeline
+        self._interval_delivered = 0
+        self._last_progress = 0
+        self._next_pid = 0
+
+        routing.attach(self)
+        self.routing = routing
+        self._build_nodes()
+
+    # -- construction ----------------------------------------------------------
+
+    def _wire_switch_links(self, cap: int) -> None:
+        for link in self.topology.switch_links():
+            for sa, pa, sb, pb in (
+                (link.switch_a, link.port_a, link.switch_b, link.port_b),
+                (link.switch_b, link.port_b, link.switch_a, link.port_a),
+            ):
+                outs = self.out_lanes[sa][pa]
+                ins = self.in_lanes[sb][pb]
+                for out, inp in zip(outs, ins):
+                    if out.sink is not None or inp.src_out is not None:
+                        raise SimulationError(
+                            f"port wired twice: switch {sa} port {pa} -> switch {sb} port {pb}"
+                        )
+                    out.sink = inp
+                    out.credits = cap
+                    inp.src_out = out
+                self.dirs.append(LinkDirection(outs))
+
+    def _wire_node_links(self, cap: int, is_direct: bool, vcs: int) -> None:
+        self.eject_lanes: list[list[EjectionLane]] = [[] for _ in range(self.topology.num_nodes)]
+        self._injection_lanes: list[list[InputLane]] = [[] for _ in range(self.topology.num_nodes)]
+        for nl in self.topology.node_links():
+            s, p, node = nl.switch, nl.port, nl.node
+            # ejection: switch output lanes -> per-VC ejection sinks
+            outs = self.out_lanes[s][p]
+            for out in outs:
+                ej = EjectionLane(node)
+                out.sink = ej
+                out.credits = _EJECT_CREDITS
+                self.eject_lanes[node].append(ej)
+            self.dirs.append(LinkDirection(outs, to_node=True))
+            # injection: the node feeds the switch input lanes directly.
+            # A cube router has a single injection channel (P = 17 in §5);
+            # a tree leaf port carries the full V lanes (P = 2kV).
+            ins = self.in_lanes[s][p]
+            if is_direct:
+                ins = ins[:1]
+                self.in_lanes[s][p] = ins
+            self._injection_lanes[node] = ins
+
+    def _prune_unwired(self) -> None:
+        """Drop lanes on unconnected ports (e.g. root external links)."""
+        for s in range(self.topology.num_switches):
+            for p in range(len(self.out_lanes[s])):
+                outs = self.out_lanes[s][p]
+                if outs and outs[0].sink is None:
+                    self.out_lanes[s][p] = []
+                    self.in_lanes[s][p] = []
+
+    def _build_nodes(self) -> None:
+        self.nodes = [
+            _Node(nid, self.injector.sources[nid], self._injection_lanes[nid])
+            for nid in range(self.topology.num_nodes)
+        ]
+        self.active_nodes = [node for node in self.nodes if node.source.active]
+
+    def preload_packet(self, src: int, dst: int, created: int = 0) -> None:
+        """Queue one packet at a source before the run starts.
+
+        Useful for deterministic unit tests, examples and debugging: the
+        packet joins the node's source queue (behind any stochastic
+        traffic) and is injected through the normal single-channel path.
+
+        Raises:
+            ConfigurationError: for out-of-range nodes or ``src == dst``.
+        """
+        nodes = self.topology.num_nodes
+        if not (0 <= src < nodes and 0 <= dst < nodes):
+            raise ConfigurationError(f"nodes out of range: {src}->{dst} (N={nodes})")
+        if src == dst:
+            raise ConfigurationError("a packet needs distinct source and destination")
+        node = self.nodes[src]
+        node.source.queue.append((created, dst))
+        if node not in self.active_nodes:
+            self.active_nodes.append(node)
+
+    # -- one simulation cycle ----------------------------------------------------
+
+    def step(self) -> bool:
+        """Advance one cycle; returns True when any flit moved (progress)."""
+        t = self.cycle
+        warm = t >= self.config.warmup_cycles
+        res = self.result
+        progress = False
+
+        # ---- phase 1a: link traversal -------------------------------------
+        for d in self.dirs:
+            if d.nbusy == 0:
+                continue
+            lanes = d.lanes
+            n = len(lanes)
+            rr = d.rr
+            for off in range(n):
+                idx = rr + off
+                if idx >= n:
+                    idx -= n
+                lane = lanes[idx]
+                if lane.buffered > 0 and lane.credits > 0:
+                    pkt = lane.packet
+                    lane.buffered -= 1
+                    lane.credits -= 1
+                    lane.sent += 1
+                    d.flits += 1
+                    if lane.buffered == 0:
+                        d.nbusy -= 1
+                    sink = lane.sink
+                    if d.to_node:
+                        # ejection: consume immediately
+                        if sink.packet is None:
+                            sink.packet = pkt
+                            sink.received = 1
+                            pkt.head_delivered = t
+                        else:
+                            sink.received += 1
+                        if warm:
+                            res.delivered_flits += 1
+                            self.delivered_flits_per_node[sink.node] += 1
+                            self._interval_delivered += 1
+                        self.delivered_flits_total += 1
+                        if sink.received == pkt.size:
+                            pkt.delivered = t
+                            sink.packet = None
+                            sink.received = 0
+                            self.delivered_packets_total += 1
+                            if pkt.injected >= self.config.warmup_cycles:
+                                res.delivered_packets += 1
+                                lat = t - pkt.injected
+                                res.latency_sum += lat
+                                res.head_latency_sum += pkt.head_delivered - pkt.injected
+                                if lat > res.latency_max:
+                                    res.latency_max = lat
+                                if self.config.collect_latencies:
+                                    res.latencies.append(lat)
+                    else:
+                        if sink.packet is None:
+                            sink.packet = pkt
+                            sink.received = 1
+                            sink.last_arrival = t
+                            self._enqueue_header(sink)
+                        else:
+                            sink.received += 1
+                            sink.last_arrival = t
+                    if lane.sent == pkt.size:
+                        # tail left this switch: free the output lane
+                        lane.packet = None
+                        lane.sent = 0
+                    d.rr = idx + 1 if idx + 1 < n else 0
+                    progress = True
+                    break
+
+        # ---- phase 1b: injection ------------------------------------------
+        cap = self.config.buffer_flits
+        default_size = self.config.packet_flits
+        for node in self.active_nodes:
+            src = node.source
+            created = src.advance(t)
+            if created and warm:
+                res.generated_packets += created
+            pkt = node.packet
+            if pkt is None:
+                if not src.queue:
+                    continue
+                # allocate a free injection lane (rotating fair choice)
+                lanes = node.lanes
+                n = len(lanes)
+                lane = None
+                for off in range(n):
+                    idx = (node.rr + off) % n
+                    if lanes[idx].packet is None:
+                        lane = lanes[idx]
+                        node.rr = (idx + 1) % n
+                        break
+                if lane is None:
+                    continue
+                entry = src.queue.popleft()
+                # trace-driven sources carry an explicit per-message size
+                size = entry[2] if len(entry) > 2 else default_size
+                pkt = Packet(self._next_pid, node.nid, entry[1], size, entry[0])
+                self._next_pid += 1
+                pkt.injected = t
+                lane.packet = pkt
+                lane.received = 1
+                lane.last_arrival = t
+                self._enqueue_header(lane)
+                node.packet = pkt
+                node.sent = 1
+                node.lane = lane
+                self.injected_packets_total += 1
+                self.injected_flits_total += 1
+                if warm:
+                    res.injected_packets += 1
+                progress = True
+                if node.sent == size:  # degenerate tiny packets
+                    node.packet = None
+                    node.lane = None
+            else:
+                lane = node.lane
+                if lane.received - lane.forwarded < cap:
+                    lane.received += 1
+                    lane.last_arrival = t
+                    node.sent += 1
+                    self.injected_flits_total += 1
+                    progress = True
+                    if node.sent == pkt.size:
+                        node.packet = None
+                        node.lane = None
+
+        # ---- phase 2: crossbar --------------------------------------------
+        bindings = self.bindings
+        i = 0
+        while i < len(bindings):
+            lane = bindings[i]
+            buffered = lane.received - lane.forwarded
+            if lane.last_arrival == t:
+                buffered -= 1
+            if buffered > 0:
+                out = lane.bound
+                if out.buffered < out.cap:
+                    lane.forwarded += 1
+                    if out.buffered == 0:
+                        out.direction.nbusy += 1
+                    out.buffered += 1
+                    src_out = lane.src_out
+                    if src_out is not None:
+                        src_out.credits += 1
+                    progress = True
+                    if lane.forwarded == lane.packet.size:
+                        # tail through the crossbar: release input lane
+                        lane.packet = None
+                        lane.received = 0
+                        lane.forwarded = 0
+                        lane.bound = None
+                        last = bindings.pop()
+                        if last is not lane:
+                            bindings[i] = last
+                        continue  # serve the swapped-in binding at this slot
+            i += 1
+
+        # ---- phase 3: routing (one header per switch per cycle) ------------
+        if self.route_queue:
+            select = self.routing.select
+            still = []
+            for s in self.route_queue:
+                pend = self.pending[s]
+                if not pend:
+                    self._in_route_queue[s] = False
+                    continue
+                n = len(pend)
+                rr = self.route_rr[s] % n
+                routed = -1
+                for off in range(n):
+                    idx = rr + off
+                    if idx >= n:
+                        idx -= n
+                    lane = pend[idx]
+                    if lane.received == 1 and lane.last_arrival == t:
+                        # the header itself arrived in this cycle's link
+                        # phase; routing it costs one full T_routing.
+                        # (received > 1 means the header arrived earlier —
+                        # last_arrival tracks the newest flit, not the head.)
+                        continue
+                    out = select(s, lane, lane.packet)
+                    if out is not None:
+                        lane.bound = out
+                        out.packet = lane.packet
+                        bindings.append(lane)
+                        routed = idx
+                        break
+                if routed >= 0:
+                    pend.pop(routed)
+                    self.route_rr[s] = routed % len(pend) if pend else 0
+                    progress = True
+                if pend:
+                    still.append(s)
+                else:
+                    self._in_route_queue[s] = False
+            self.route_queue = still
+
+        interval = self.config.interval_cycles
+        if interval and warm and (t - self.config.warmup_cycles + 1) % interval == 0:
+            res.throughput_timeline.append(self._interval_delivered)
+            self._interval_delivered = 0
+
+        self.cycle = t + 1
+        return progress
+
+    def _enqueue_header(self, lane: InputLane) -> None:
+        s = lane.switch
+        self.pending[s].append(lane)
+        if not self._in_route_queue[s]:
+            self._in_route_queue[s] = True
+            self.route_queue.append(s)
+
+    # -- full run ----------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run to ``config.total_cycles`` and return the measurements.
+
+        Raises:
+            DeadlockError: if the watchdog sees no flit movement for
+                ``config.watchdog_cycles`` cycles while packets are in
+                flight (indicates a routing bug, not an expected outcome).
+        """
+        watchdog = self.config.watchdog_cycles
+        total = self.config.total_cycles
+        while self.cycle < total:
+            if self.step():
+                self._last_progress = self.cycle
+            elif (
+                watchdog
+                and self.in_flight_packets() > 0
+                and self.cycle - self._last_progress >= watchdog
+            ):
+                raise DeadlockError(
+                    f"no flit movement for {watchdog} cycles at cycle {self.cycle} "
+                    f"with {self.in_flight_packets()} packets in flight "
+                    f"({self.config.label()})"
+                )
+        self.result.in_flight_at_end = self.in_flight_packets()
+        return self.result
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> int:
+        """Run until every queued and in-flight packet is delivered.
+
+        Used for batch experiments (e.g. draining one full permutation,
+        the "global permutation pattern" of §6) where the metric is the
+        makespan rather than a steady-state rate.  Ignores
+        ``config.total_cycles``; statistics windows still apply as
+        configured.
+
+        Returns:
+            The cycle at which the network became empty.
+
+        Raises:
+            DeadlockError: when the watchdog fires, or nothing is
+                delivered by ``max_cycles``.
+        """
+        watchdog = self.config.watchdog_cycles
+        while True:
+            if self.in_flight_packets() == 0 and all(
+                node.source.done() for node in self.active_nodes
+            ):
+                return self.cycle
+            if self.cycle >= max_cycles:
+                raise DeadlockError(
+                    f"drain did not complete within {max_cycles} cycles "
+                    f"({self.in_flight_packets()} packets in flight)"
+                )
+            if self.step():
+                self._last_progress = self.cycle
+            elif (
+                watchdog
+                and self.in_flight_packets() > 0
+                and self.cycle - self._last_progress >= watchdog
+            ):
+                raise DeadlockError(
+                    f"no flit movement for {watchdog} cycles at cycle {self.cycle} "
+                    f"during drain ({self.config.label()})"
+                )
+
+    def in_flight_packets(self) -> int:
+        """Packets injected but not yet fully delivered."""
+        return self.injected_packets_total - self.delivered_packets_total
+
+    # -- invariants ----------------------------------------------------------------
+
+    def audit(self) -> None:
+        """Verify global invariants; raises SimulationError on violation.
+
+        Checked after runs by the test-suite:
+
+        * buffer occupancies within ``[0, cap]``;
+        * credit counters mirror downstream free space exactly;
+        * crossbar bindings are mutually consistent;
+        * flit conservation: every injected flit is either delivered or
+          buffered in exactly one lane.
+        """
+        buffered_flits = 0
+        for s in range(self.topology.num_switches):
+            for port_lanes in self.in_lanes[s]:
+                for lane in port_lanes:
+                    buf = lane.received - lane.forwarded
+                    if not 0 <= buf <= lane.cap:
+                        raise SimulationError(f"input buffer out of range: {lane!r}")
+                    if lane.packet is None and (lane.received or lane.forwarded or lane.bound):
+                        raise SimulationError(f"free input lane with residue: {lane!r}")
+                    if lane.bound is not None and lane.bound.packet is not lane.packet:
+                        raise SimulationError(f"binding mismatch: {lane!r} -> {lane.bound!r}")
+                    buffered_flits += buf
+            for port_lanes in self.out_lanes[s]:
+                for lane in port_lanes:
+                    if not 0 <= lane.buffered <= lane.cap:
+                        raise SimulationError(f"output buffer out of range: {lane!r}")
+                    sink = lane.sink
+                    if isinstance(sink, InputLane):
+                        expect = sink.cap - (sink.received - sink.forwarded)
+                        if lane.credits != expect:
+                            raise SimulationError(
+                                f"credit drift: {lane!r} credits={lane.credits}, "
+                                f"downstream free space={expect}"
+                            )
+                    buffered_flits += lane.buffered
+        # delivered_flits_total counts every ejected flit (including those
+        # of packets still partially in flight), so what remains in the
+        # network is exactly the sum of lane buffers.
+        in_network = self.injected_flits_total - self.delivered_flits_total
+        if buffered_flits != in_network:
+            raise SimulationError(
+                f"flit conservation violated: buffered={buffered_flits}, "
+                f"injected-delivered={in_network}"
+            )

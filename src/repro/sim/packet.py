@@ -1,0 +1,68 @@
+"""Packet bookkeeping.
+
+A packet is a worm of ``size`` flits; the first flit is the header (it
+carries the routing information and allocates lanes), the last the tail
+(it releases them).  Individual flits carry no payload in the model, so
+the packet object only records identity and the timestamps needed for the
+paper's metrics:
+
+* ``created`` — cycle the source process generated it;
+* ``injected`` — cycle the header entered the injection lane (the start of
+  the paper's network latency, which excludes source queueing);
+* ``delivered`` — cycle the tail reached the destination node.
+"""
+
+from __future__ import annotations
+
+
+class Packet:
+    """One wormhole packet."""
+
+    __slots__ = (
+        "pid",
+        "src",
+        "dst",
+        "size",
+        "created",
+        "injected",
+        "head_delivered",
+        "delivered",
+    )
+
+    def __init__(self, pid: int, src: int, dst: int, size: int, created: int):
+        self.pid = pid
+        self.src = src
+        self.dst = dst
+        self.size = size
+        self.created = created
+        self.injected = -1
+        #: cycle the header flit reached the destination (§8 distinguishes
+        #: head latency from tail latency for the flow-control analysis)
+        self.head_delivered = -1
+        self.delivered = -1
+
+    @property
+    def network_latency(self) -> int:
+        """Header injection to tail delivery, in cycles (§6).
+
+        Only meaningful once delivered; -1 sentinel arithmetic is guarded
+        by the caller (the stats collector only sees delivered packets).
+        """
+        return self.delivered - self.injected
+
+    @property
+    def head_latency(self) -> int:
+        """Header injection to header delivery — path-acquisition delay."""
+        return self.head_delivered - self.injected
+
+    @property
+    def tail_latency(self) -> int:
+        """Header delivery to tail delivery — the serialization /
+        link-multiplexing component the paper's §8 discussion isolates."""
+        return self.delivered - self.head_delivered
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Packet(pid={self.pid}, {self.src}->{self.dst}, size={self.size}, "
+            f"created={self.created}, injected={self.injected}, delivered={self.delivered})"
+        )

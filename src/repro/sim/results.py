@@ -1,0 +1,139 @@
+"""Raw measurements from one simulation run (paper §6).
+
+The two quantitative parameters of §6 are computed here:
+
+* **accepted bandwidth** — flits delivered to their destinations during the
+  measurement window, per node per cycle, reported both in flits/cycle and
+  as a fraction of the network capacity (the CNF y-axis);
+* **network latency** — average header-injection-to-tail-delivery delay of
+  packets measured in the window (source queueing excluded, as in §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from .config import SimulationConfig
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run.
+
+    All counters refer to the measurement window ``[warmup, total)`` only.
+
+    Attributes:
+        config: the run recipe.
+        measured_cycles: length of the measurement window.
+        generated_packets: packets created by the sources in the window
+            (the realized offered load).
+        injected_packets: packets whose header entered an injection lane
+            in the window.
+        delivered_packets: packets whose tail reached the destination in
+            the window *and* whose header was injected after the warm-up
+            (latency samples come from these).
+        delivered_flits: all flits delivered in the window, regardless of
+            injection time (throughput counts every delivery).
+        latency_sum / latency_max: over the latency sample set.
+        latencies: per-packet samples when ``config.collect_latencies``.
+        in_flight_at_end: packets still in the network when the run halted.
+    """
+
+    config: SimulationConfig
+    measured_cycles: int
+    generated_packets: int = 0
+    injected_packets: int = 0
+    delivered_packets: int = 0
+    delivered_flits: int = 0
+    latency_sum: int = 0
+    head_latency_sum: int = 0
+    latency_max: int = 0
+    latencies: list[int] = field(default_factory=list)
+    in_flight_at_end: int = 0
+    #: delivered flits per interval of ``config.interval_cycles`` cycles
+    #: (empty unless that option is set); trailing partial intervals are
+    #: dropped
+    throughput_timeline: list[int] = field(default_factory=list)
+
+    # -- §6 metrics -----------------------------------------------------------
+
+    @property
+    def offered_flits_per_cycle(self) -> float:
+        """Realized offered load per node (flits/cycle)."""
+        return (
+            self.generated_packets
+            * self.config.packet_flits
+            / (self.measured_cycles * self.config.num_nodes)
+        )
+
+    @property
+    def accepted_flits_per_cycle(self) -> float:
+        """Accepted bandwidth per node (flits/cycle): the sustained data
+        delivery rate given the offered bandwidth at the input."""
+        return self.delivered_flits / (self.measured_cycles * self.config.num_nodes)
+
+    @property
+    def offered_fraction(self) -> float:
+        """Realized offered load as a fraction of capacity."""
+        return self.offered_flits_per_cycle / self.config.capacity_flits_per_cycle
+
+    @property
+    def accepted_fraction(self) -> float:
+        """Accepted bandwidth as a fraction of capacity (CNF y-axis)."""
+        return self.accepted_flits_per_cycle / self.config.capacity_flits_per_cycle
+
+    @property
+    def avg_latency_cycles(self) -> float:
+        """Average network latency in cycles over the sample set.
+
+        Raises:
+            AnalysisError: when no packet completed inside the window
+                (deep saturation with a tiny window) — callers decide how
+                to present the missing point.
+        """
+        if self.delivered_packets == 0:
+            raise AnalysisError(f"no delivered packets in run {self.config.label()}")
+        return self.latency_sum / self.delivered_packets
+
+    @property
+    def avg_head_latency_cycles(self) -> float:
+        """Average injection-to-header-delivery delay (§8: head latency).
+
+        The path-acquisition component of the network latency: rises with
+        contention but is insensitive to link multiplexing.
+        """
+        if self.delivered_packets == 0:
+            raise AnalysisError(f"no delivered packets in run {self.config.label()}")
+        return self.head_latency_sum / self.delivered_packets
+
+    @property
+    def avg_tail_latency_cycles(self) -> float:
+        """Average header-to-tail delay (§8: tail latency).
+
+        The serialization component: ``S − 1`` cycles uncontended, and
+        up to V times that when V packets multiplex each link.
+        """
+        return self.avg_latency_cycles - self.avg_head_latency_cycles
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic per-run saturation flag: accepted visibly below offered.
+
+        §6 defines saturation as the minimum offered bandwidth where the
+        accepted bandwidth is lower than the packet creation rate; a 5%
+        relative margin absorbs Bernoulli noise on short windows.
+        """
+        return self.accepted_flits_per_cycle < 0.95 * self.offered_flits_per_cycle
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        try:
+            lat = f"{self.avg_latency_cycles:.1f}"
+        except AnalysisError:
+            lat = "n/a"
+        return (
+            f"{self.config.label()}: offered={self.offered_fraction:.3f} "
+            f"accepted={self.accepted_fraction:.3f} latency={lat}cyc "
+            f"delivered={self.delivered_packets}"
+        )

@@ -1,0 +1,121 @@
+"""High-level simulation entry points.
+
+:func:`simulate` turns a :class:`~repro.sim.config.SimulationConfig` into a
+:class:`~repro.sim.results.RunResult`; :func:`tree_config` and
+:func:`cube_config` build paper-faithful configurations (flit widths,
+capacities and packet sizes from the §5 normalization) with one call.
+
+Example::
+
+    from repro.sim import simulate
+    from repro.sim.run import tree_config
+
+    result = simulate(tree_config(vcs=4, pattern="uniform", load=0.5))
+    print(result.accepted_fraction, result.avg_latency_cycles)
+"""
+
+from __future__ import annotations
+
+from ..routing.base import make_routing
+from ..timing.normalization import cube_scaling, tree_scaling
+from ..topology.cube import KAryNCube
+from ..topology.tree import KAryNTree
+from ..traffic.generator import BernoulliInjector
+from ..traffic.patterns import make_pattern
+from .config import SimulationConfig
+from .engine import Engine
+from .results import RunResult
+
+
+def build_engine(config: SimulationConfig) -> Engine:
+    """Instantiate topology, routing, traffic and engine for a config."""
+    if config.network == "tree":
+        topo = KAryNTree(config.k, config.n)
+    else:
+        topo = KAryNCube(config.k, config.n)
+    routing = make_routing(config.algorithm)
+    pattern = make_pattern(config.pattern, topo.num_nodes, **config.pattern_kwargs)
+    injector = BernoulliInjector(
+        pattern,
+        flits_per_cycle=config.injection_flits_per_cycle,
+        packet_flits=config.packet_flits,
+        seed=config.seed,
+    )
+    return Engine(topo, routing, injector, config)
+
+
+def simulate(config: SimulationConfig) -> RunResult:
+    """Run one simulation to completion and return its measurements."""
+    return build_engine(config).run()
+
+
+def tree_config(
+    k: int = 4,
+    n: int = 4,
+    vcs: int = 4,
+    pattern: str = "uniform",
+    load: float = 0.1,
+    algorithm: str = "tree_adaptive",
+    **overrides,
+) -> SimulationConfig:
+    """Paper-normalized k-ary n-tree configuration (§5 defaults).
+
+    2-byte flits (64-byte packets = 32 flits), capacity 1 flit/cycle/node,
+    adaptive routing (``algorithm="tree_deterministic"`` selects the
+    oblivious baseline).  ``overrides`` reach :class:`SimulationConfig`
+    directly (seed, warmup_cycles, total_cycles, ...).
+    """
+    scaling = tree_scaling(k, n)
+    return SimulationConfig(
+        network="tree",
+        k=k,
+        n=n,
+        algorithm=algorithm,
+        vcs=vcs,
+        packet_flits=overrides.pop("packet_flits", scaling.packet_flits),
+        capacity_flits_per_cycle=scaling.capacity_flits_per_cycle,
+        pattern=pattern,
+        load=load,
+        **overrides,
+    )
+
+
+def cube_config(
+    k: int = 16,
+    n: int = 2,
+    algorithm: str = "duato",
+    vcs: int = 4,
+    pattern: str = "uniform",
+    load: float = 0.1,
+    **overrides,
+) -> SimulationConfig:
+    """Paper-normalized k-ary n-cube configuration (§5 defaults).
+
+    4-byte flits (64-byte packets = 16 flits), capacity ``8/k`` flits per
+    cycle per node (0.5 for the 16-ary 2-cube).
+    """
+    scaling = cube_scaling(k, n)
+    return SimulationConfig(
+        network="cube",
+        k=k,
+        n=n,
+        algorithm=algorithm,
+        vcs=vcs,
+        packet_flits=overrides.pop("packet_flits", scaling.packet_flits),
+        capacity_flits_per_cycle=scaling.capacity_flits_per_cycle,
+        pattern=pattern,
+        load=load,
+        **overrides,
+    )
+
+
+def quick_run(**kwargs) -> RunResult:
+    """Tiny-network smoke helper used by examples and docs.
+
+    Any keyword accepted by :func:`tree_config`; defaults to a 2-ary
+    2-tree at light load with short windows so it completes in
+    milliseconds.
+    """
+    defaults = dict(k=2, n=2, vcs=2, load=0.2, warmup_cycles=50, total_cycles=400)
+    defaults.update(kwargs)
+    return simulate(tree_config(**defaults))

@@ -1,0 +1,54 @@
+"""Router cost model and physical-constraint normalization (paper §5).
+
+* :mod:`repro.timing.chien` — Chien's 0.8 µm CMOS delay model: routing,
+  crossbar and link delays as functions of routing freedom F, crossbar
+  ports P and virtual channels V; reproduces the paper's Tables 1 and 2.
+* :mod:`repro.timing.normalization` — flit widths, capacities and the
+  cycles→nanoseconds / flits→bits conversions behind the §10 comparison.
+"""
+
+from .chien import (
+    RouterDelays,
+    WireLength,
+    crossbar_delay_ns,
+    cube_freedom_deterministic,
+    cube_freedom_duato,
+    link_delay_ns,
+    router_delays,
+    routing_delay_ns,
+    table1_cube_delays,
+    table2_tree_delays,
+    tree_crossbar_ports,
+    tree_freedom_adaptive,
+)
+from .normalization import (
+    CUBE_FLIT_BYTES,
+    PACKET_BYTES,
+    TREE_FLIT_BYTES,
+    NetworkScaling,
+    cube_scaling,
+    equal_cost_pairs,
+    tree_scaling,
+)
+
+__all__ = [
+    "RouterDelays",
+    "WireLength",
+    "crossbar_delay_ns",
+    "cube_freedom_deterministic",
+    "cube_freedom_duato",
+    "link_delay_ns",
+    "router_delays",
+    "routing_delay_ns",
+    "table1_cube_delays",
+    "table2_tree_delays",
+    "tree_crossbar_ports",
+    "tree_freedom_adaptive",
+    "CUBE_FLIT_BYTES",
+    "PACKET_BYTES",
+    "TREE_FLIT_BYTES",
+    "NetworkScaling",
+    "cube_scaling",
+    "equal_cost_pairs",
+    "tree_scaling",
+]

@@ -1,0 +1,195 @@
+"""Chien's router cost and speed model (paper §5, eqs. 1–4).
+
+The model assumes a 0.8 µm CMOS gate-array implementation of the routing
+chip and expresses the three per-hop delays in nanoseconds:
+
+* routing decision, logarithmic in the routing freedom F (eq. 1):
+  ``T_routing = 4.7 + 1.2·log2(F)``
+* crossbar traversal, logarithmic in the number of crossbar ports P
+  (eq. 2): ``T_crossbar = 3.4 + 0.6·log2(P)``
+* link traversal, logarithmic in the number of virtual channels V, with a
+  wire-length dependent base — short wires for low-dimensional cubes
+  embedded in 3-space with constant-length wires (eq. 3):
+  ``T_link^s = 5.14 + 0.6·log2(V)``; medium wires for the 256-node fat-tree
+  (eq. 4): ``T_link^m = 9.64 + 0.6·log2(V)``.
+
+The router clock is set to the maximum of the three delays; in the
+simulation every delay is then one clock, and the ns value only rescales
+the results for the absolute comparison (§10).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+class WireLength(enum.Enum):
+    """Wire-length class of the physical links (eqs. 3–4)."""
+
+    SHORT = "short"  # constant-length wires: low-dimensional cubes
+    MEDIUM = "medium"  # 256-node fat-tree embedded in 3-space
+
+
+def routing_delay_ns(freedom: int) -> float:
+    """Eq. 1 — address decode, routing decision and header selection.
+
+    Args:
+        freedom: F, the number of routing alternatives offered to a header.
+    """
+    if freedom < 1:
+        raise ConfigurationError(f"routing freedom must be >= 1, got {freedom}")
+    return 4.7 + 1.2 * math.log2(freedom)
+
+
+def crossbar_delay_ns(ports: int) -> float:
+    """Eq. 2 — internal flow control, crossbar and output latch.
+
+    Args:
+        ports: P, the number of crossbar input ports (lanes + injection).
+    """
+    if ports < 1:
+        raise ConfigurationError(f"crossbar ports must be >= 1, got {ports}")
+    return 3.4 + 0.6 * math.log2(ports)
+
+
+def link_delay_ns(virtual_channels: int, wires: WireLength = WireLength.SHORT) -> float:
+    """Eqs. 3–4 — wire delay, destination latch and VC controller.
+
+    Args:
+        virtual_channels: V, virtual channels multiplexed on the link.
+        wires: wire-length class; ``SHORT`` uses the 5.14 ns base (cubes),
+            ``MEDIUM`` the 9.64 ns base (the 256-node fat-tree).
+    """
+    if virtual_channels < 1:
+        raise ConfigurationError(f"virtual channels must be >= 1, got {virtual_channels}")
+    base = 5.14 if wires is WireLength.SHORT else 9.64
+    return base + 0.6 * math.log2(virtual_channels)
+
+
+@dataclass(frozen=True)
+class RouterDelays:
+    """The three per-hop delays and the clock they induce, in ns."""
+
+    routing_ns: float
+    crossbar_ns: float
+    link_ns: float
+
+    @property
+    def clock_ns(self) -> float:
+        """Clock period = max of the three delays (§5)."""
+        return max(self.routing_ns, self.crossbar_ns, self.link_ns)
+
+    def limiting_factor(self) -> str:
+        """Which delay sets the clock: 'routing', 'crossbar' or 'link'."""
+        if self.clock_ns == self.routing_ns:
+            return "routing"
+        if self.clock_ns == self.link_ns:
+            return "link"
+        return "crossbar"
+
+    def rounded(self, digits: int = 2) -> tuple[float, float, float, float]:
+        """(routing, crossbar, link, clock) rounded for table display."""
+        return (
+            round(self.routing_ns, digits),
+            round(self.crossbar_ns, digits),
+            round(self.link_ns, digits),
+            round(self.clock_ns, digits),
+        )
+
+
+def router_delays(freedom: int, ports: int, virtual_channels: int, wires: WireLength) -> RouterDelays:
+    """Evaluate the full model for one router configuration."""
+    return RouterDelays(
+        routing_ns=routing_delay_ns(freedom),
+        crossbar_ns=crossbar_delay_ns(ports),
+        link_ns=link_delay_ns(virtual_channels, wires),
+    )
+
+
+# -- per-algorithm parameters (paper §5) --------------------------------------
+
+
+def cube_freedom_deterministic(virtual_channels: int = 4) -> int:
+    """F for dimension-order routing with two virtual networks.
+
+    Only the VCs of the current virtual network on the single allowed link
+    are candidates: ``V/2`` of them — 2 for the paper's V=4.
+    """
+    if virtual_channels % 2:
+        raise ConfigurationError("deterministic cube routing needs an even VC count")
+    return virtual_channels // 2
+
+
+def cube_freedom_duato(n: int = 2, virtual_channels: int = 4) -> int:
+    """F for Duato's minimal adaptive algorithm on an n-cube.
+
+    The paper's count for V=4, n=2: four adaptive channels (two adaptive
+    VCs on each of up to n productive links) plus the two deterministic
+    (escape) channels — F = 6.
+    """
+    adaptive_vcs = virtual_channels // 2
+    return n * adaptive_vcs + 2
+
+
+def tree_freedom_adaptive(k: int, virtual_channels: int) -> int:
+    """F for the adaptive tree algorithm: ``(2k − 1)·V`` (§5).
+
+    In the ascending phase a packet may take any of the 2k−1 other links
+    (k up links or k−1 other down links are alternatives in the switch
+    structure the paper counts), each with V virtual channels.
+    """
+    return (2 * k - 1) * virtual_channels
+
+
+def tree_crossbar_ports(k: int, virtual_channels: int) -> int:
+    """P for the tree switch: ``2k·V`` lanes (§5)."""
+    return 2 * k * virtual_channels
+
+
+def cube_crossbar_ports(n: int = 2, virtual_channels: int = 4) -> int:
+    """P for the cube router: ``2n·V`` link lanes + 1 injection channel.
+
+    For the paper's 16-ary 2-cube with V=4: 4·4 + 1 = 17.
+    """
+    return 2 * n * virtual_channels + 1
+
+
+# -- the paper's tables -------------------------------------------------------
+
+
+def table1_cube_delays(n: int = 2, virtual_channels: int = 4) -> dict[str, RouterDelays]:
+    """Table 1 — delays of the two cube routing algorithms, in ns.
+
+    Returns a dict with keys ``"deterministic"`` and ``"duato"``.  For the
+    paper's parameters the rounded values are (5.9, 5.85, 6.34, 6.34) and
+    (7.8, 5.85, 6.34, 7.8).
+    """
+    ports = cube_crossbar_ports(n, virtual_channels)
+    return {
+        "deterministic": router_delays(
+            cube_freedom_deterministic(virtual_channels), ports, virtual_channels, WireLength.SHORT
+        ),
+        "duato": router_delays(
+            cube_freedom_duato(n, virtual_channels), ports, virtual_channels, WireLength.SHORT
+        ),
+    }
+
+
+def table2_tree_delays(k: int = 4, vc_variants: tuple[int, ...] = (1, 2, 4)) -> dict[int, RouterDelays]:
+    """Table 2 — delays of the adaptive tree algorithm per VC count, in ns.
+
+    For the paper's 4-ary 4-tree the rounded values are
+    1 VC: (8.06, 5.2, 9.64, 9.64); 2 VC: (9.26, 5.8, 10.24, 10.24);
+    4 VC: (10.46, 6.4, 10.84, 10.84) — wire-limited at 1–2 VCs, with the
+    routing/link gap closing at 4 VCs.
+    """
+    return {
+        v: router_delays(
+            tree_freedom_adaptive(k, v), tree_crossbar_ports(k, v), v, WireLength.MEDIUM
+        )
+        for v in vc_variants
+    }

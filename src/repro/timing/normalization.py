@@ -1,0 +1,147 @@
+"""Performance normalization between the two networks (paper §5, §10).
+
+To compare "apples with apples" the paper equalizes:
+
+* **node and router counts** — a k-ary n-tree with ``k1 = n1`` has
+  ``N = k1**k1`` nodes *and* N routing chips, matching any k-ary n-cube
+  with ``k2**n2 = N`` (cubes always have one router per node).  The
+  evaluated pair is the 4-ary 4-tree and the 16-ary 2-cube, both N = 256.
+* **pin count / peak bandwidth** — the quaternary tree switch has arity 8,
+  the 2-D cube router arity 4 (node interface excluded), so the cube's
+  data paths are doubled: flits are 2 bytes on the tree, 4 bytes on the
+  cube.  Both networks then offer the same peak bandwidth and the same
+  theoretical upper bound under uniform traffic.
+* **clock period** — from Chien's model (:mod:`repro.timing.chien`); used
+  to convert cycles to nanoseconds for the absolute comparison of §10.
+
+Packets are 64 bytes (§4): 32 flits on the tree, 16 on the cube.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..topology.properties import (
+    cube_capacity_flits_per_cycle,
+    tree_capacity_flits_per_cycle,
+)
+
+#: flit / data-path width on the fat-tree (§5)
+TREE_FLIT_BYTES = 2
+#: flit / data-path width on the cube (§5)
+CUBE_FLIT_BYTES = 4
+#: packet size used throughout the evaluation (§4)
+PACKET_BYTES = 64
+
+
+@dataclass(frozen=True)
+class NetworkScaling:
+    """Unit conversions for one network configuration.
+
+    Attributes:
+        flit_bytes: physical flit width.
+        packet_flits: packet length in flits (= PACKET_BYTES / flit_bytes).
+        capacity_flits_per_cycle: theoretical per-node injection limit
+            under uniform traffic, in flits/cycle (§5).
+        clock_ns: clock period from Chien's model; 0 disables absolute
+            conversions (raises on use).
+        num_nodes: network size, for aggregate figures.
+    """
+
+    flit_bytes: int
+    packet_flits: int
+    capacity_flits_per_cycle: float
+    clock_ns: float
+    num_nodes: int
+
+    @property
+    def flit_bits(self) -> int:
+        return 8 * self.flit_bytes
+
+    # -- offered-load conversions -------------------------------------------
+
+    def load_to_flits_per_cycle(self, fraction_of_capacity: float) -> float:
+        """Per-node offered load in flits/cycle for an x-axis fraction."""
+        if fraction_of_capacity < 0:
+            raise ConfigurationError(f"negative load {fraction_of_capacity}")
+        return fraction_of_capacity * self.capacity_flits_per_cycle
+
+    def flits_per_cycle_to_load(self, flits_per_cycle: float) -> float:
+        """Inverse of :meth:`load_to_flits_per_cycle`."""
+        return flits_per_cycle / self.capacity_flits_per_cycle
+
+    # -- absolute units (§10) -------------------------------------------------
+
+    def _require_clock(self) -> None:
+        if self.clock_ns <= 0:
+            raise ConfigurationError("no clock period configured for ns conversions")
+
+    def aggregate_bits_per_ns(self, accepted_fraction: float) -> float:
+        """Network-wide accepted traffic in bits/ns, as plotted in Fig. 7.
+
+        ``accepted_fraction`` is the per-node accepted bandwidth as a
+        fraction of capacity (the CNF y-axis).
+        """
+        self._require_clock()
+        flits_per_cycle = accepted_fraction * self.capacity_flits_per_cycle * self.num_nodes
+        return flits_per_cycle * self.flit_bits / self.clock_ns
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Latency conversion for the Fig. 7 latency panels."""
+        self._require_clock()
+        return cycles * self.clock_ns
+
+    def peak_bits_per_ns(self) -> float:
+        """Aggregate theoretical upper bound in bits/ns (load fraction 1)."""
+        return self.aggregate_bits_per_ns(1.0)
+
+
+def tree_scaling(k: int, n: int, clock_ns: float = 0.0) -> NetworkScaling:
+    """Scaling for a k-ary n-tree with the paper's 2-byte flits."""
+    return NetworkScaling(
+        flit_bytes=TREE_FLIT_BYTES,
+        packet_flits=PACKET_BYTES // TREE_FLIT_BYTES,
+        capacity_flits_per_cycle=tree_capacity_flits_per_cycle(k, n),
+        clock_ns=clock_ns,
+        num_nodes=k**n,
+    )
+
+
+def cube_scaling(k: int, n: int, clock_ns: float = 0.0) -> NetworkScaling:
+    """Scaling for a k-ary n-cube with the paper's 4-byte flits."""
+    return NetworkScaling(
+        flit_bytes=CUBE_FLIT_BYTES,
+        packet_flits=PACKET_BYTES // CUBE_FLIT_BYTES,
+        capacity_flits_per_cycle=cube_capacity_flits_per_cycle(k, n),
+        clock_ns=clock_ns,
+        num_nodes=k**n,
+    )
+
+
+def equal_cost_pairs(max_nodes: int = 100_000) -> list[dict]:
+    """Enumerate tree/cube pairs satisfying the §5 equal-cost conditions.
+
+    Same node count (``k1**n1 == k2**n2``) and same router count
+    (``n1·k1**(n1-1) == k2**n2``) force ``k1 == n1`` and ``N == k1**k1``.
+    Returns, for each admissible N up to ``max_nodes``, the tree parameters
+    and every integer cube shape of that size:
+
+        [{"nodes": N, "tree": (k1, n1), "cubes": [(k2, n2), ...]}, ...]
+
+    For N=256 the cubes are (256,1), (16,2), (4,4) and (2,8); the paper
+    evaluates the 16-ary 2-cube.
+    """
+    out = []
+    k1 = 2
+    while k1**k1 <= max_nodes:
+        n_nodes = k1**k1
+        cubes = []
+        for n2 in range(1, n_nodes.bit_length()):
+            k2 = round(n_nodes ** (1.0 / n2))
+            for cand in (k2 - 1, k2, k2 + 1):
+                if cand >= 2 and cand**n2 == n_nodes and (cand, n2) not in cubes:
+                    cubes.append((cand, n2))
+        out.append({"nodes": n_nodes, "tree": (k1, k1), "cubes": sorted(cubes, reverse=True)})
+        k1 += 1
+    return out

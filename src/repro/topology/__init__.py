@@ -1,0 +1,31 @@
+"""Interconnection network topologies (paper §2–§3).
+
+* :class:`~repro.topology.tree.KAryNTree` — the quaternary-fat-tree family
+  (k-ary n-trees) with butterfly-structured internal switches.
+* :class:`~repro.topology.cube.KAryNCube` — k-ary n-cubes (tori), including
+  the binary hypercube (k=2) and the 2-D torus (n=2) special cases.
+* :mod:`~repro.topology.properties` — closed-form topological metrics used
+  in the paper's analysis (bisection, average distances, eq. 5).
+"""
+
+from .base import NodeLink, SwitchLink, Topology
+from .cube import KAryNCube
+from .properties import (
+    cube_average_distance_uniform,
+    cube_bisection_channels,
+    tree_average_distance_reversal,
+    tree_average_distance_uniform,
+)
+from .tree import KAryNTree
+
+__all__ = [
+    "NodeLink",
+    "SwitchLink",
+    "Topology",
+    "KAryNCube",
+    "KAryNTree",
+    "cube_average_distance_uniform",
+    "cube_bisection_channels",
+    "tree_average_distance_reversal",
+    "tree_average_distance_uniform",
+]

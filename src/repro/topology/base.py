@@ -1,0 +1,103 @@
+"""Topology abstraction shared by the simulation engine and analyses.
+
+A topology is a bipartite structure of *processing nodes* and *switches*
+(the paper's routing chips) connected by bidirectional channels:
+
+* :class:`SwitchLink` — a channel between two switch ports;
+* :class:`NodeLink` — a channel between a node and a switch port (the
+  injection/ejection interface).
+
+Switches expose numbered ports; the meaning of a port number (up/down for
+trees, ±dimension for cubes) is defined by the concrete topology and
+consumed by the matching routing algorithm.  The engine itself is
+topology-agnostic: it only needs the port-level wiring lists.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+
+
+@dataclass(frozen=True)
+class SwitchLink:
+    """Bidirectional channel between port ``port_a`` of switch ``switch_a``
+    and port ``port_b`` of switch ``switch_b``."""
+
+    switch_a: int
+    port_a: int
+    switch_b: int
+    port_b: int
+
+
+@dataclass(frozen=True)
+class NodeLink:
+    """Bidirectional channel between processing node ``node`` and port
+    ``port`` of switch ``switch``."""
+
+    node: int
+    switch: int
+    port: int
+
+
+class Topology(ABC):
+    """Common interface of the network families under study."""
+
+    #: number of processing nodes N
+    num_nodes: int
+    #: number of switches (routing chips)
+    num_switches: int
+
+    @abstractmethod
+    def ports_per_switch(self) -> int:
+        """Number of ports on every switch, *excluding* the node interface
+        on direct topologies (added separately by the engine)."""
+
+    @abstractmethod
+    def switch_links(self) -> list[SwitchLink]:
+        """All switch-to-switch channels, each listed once."""
+
+    @abstractmethod
+    def node_links(self) -> list[NodeLink]:
+        """All node-to-switch channels, each listed once."""
+
+    @abstractmethod
+    def min_distance(self, src: int, dst: int) -> int:
+        """Minimal path length between nodes in channel hops.
+
+        Counts every channel traversed, including the two node-to-switch
+        channels on indirect topologies; distance 0 means ``src == dst``.
+        """
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{type(self).__name__}: {self.num_nodes} nodes, "
+            f"{self.num_switches} switches, "
+            f"{len(self.switch_links())} internal channels"
+        )
+
+    def to_networkx(self):
+        """Export the wiring as an undirected ``networkx`` graph.
+
+        Nodes are labeled ``("node", i)`` and ``("switch", s)``.  Used by
+        the test-suite to cross-check distances and connectivity against an
+        independent shortest-path implementation; requires networkx, which
+        is an optional (dev) dependency.
+        """
+        import networkx as nx
+
+        g = nx.Graph()
+        g.add_nodes_from(("node", i) for i in range(self.num_nodes))
+        g.add_nodes_from(("switch", s) for s in range(self.num_switches))
+        for link in self.switch_links():
+            g.add_edge(("switch", link.switch_a), ("switch", link.switch_b))
+        for nl in self.node_links():
+            g.add_edge(("node", nl.node), ("switch", nl.switch))
+        return g
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise TopologyError(f"node {node} out of range [0, {self.num_nodes})")

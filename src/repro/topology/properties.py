@@ -1,0 +1,209 @@
+"""Closed-form topological metrics used in the paper's analysis.
+
+These formulas back the normalization arguments of §5 (bisection bandwidth,
+theoretical capacity) and the distance analysis of §8 (eq. 5).  Each has an
+exact brute-force counterpart in the test-suite.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+from .base import Topology
+from .cube import KAryNCube
+from .tree import KAryNTree
+
+# -- k-ary n-tree -----------------------------------------------------------
+
+
+def tree_average_distance_uniform(k: int, n: int, include_self: bool = False) -> float:
+    """Average node-to-node distance on a k-ary n-tree under uniform traffic.
+
+    Distance is in channel hops including the two node links
+    (:meth:`KAryNTree.min_distance`).  From any source, the number of
+    destinations whose NCA is at level ``l`` is ``(k-1)·k**l``, at distance
+    ``2l + 2``.
+
+    Args:
+        include_self: average over all ``k**n`` destinations (distance 0
+            for the source itself) instead of the ``k**n - 1`` others.
+    """
+    _check(k, n)
+    total = sum((2 * level + 2) * (k - 1) * k**level for level in range(n))
+    denom = k**n if include_self else k**n - 1
+    return total / denom
+
+
+def tree_average_distance_reversal(k: int, n: int) -> float:
+    """Paper eq. 5: average distance under bit-reversal/transpose traffic.
+
+    Both permutations leave ``k**(n/2)`` nodes in place (distance 0) and
+    put ``(k-1)·k**(n/2+i-1)`` nodes at distance ``n + 2i`` for
+    ``i = 1..n/2``, giving
+
+        d_m = (k-1) / k**(n/2) · Σ_{i=1}^{n/2} (n + 2i) · k**(i-1)
+
+    which evaluates to 7.125 for the paper's 4-ary 4-tree — "very close to
+    the network diameter" (2n = 8).
+
+    Raises:
+        TopologyError: when n is odd (the paper assumes n even).
+    """
+    _check(k, n)
+    if n % 2:
+        raise TopologyError(f"eq. 5 requires even n, got n={n}")
+    half = n // 2
+    return (k - 1) / k**half * sum((n + 2 * i) * k ** (i - 1) for i in range(1, half + 1))
+
+
+def tree_diameter(k: int, n: int) -> int:
+    """Maximal node-to-node distance: up to a root and back down, 2n hops."""
+    _check(k, n)
+    return 2 * n
+
+
+def tree_num_channels(k: int, n: int) -> int:
+    """Bidirectional channels including node links: ``n · k**n``.
+
+    Each of the n levels contributes ``k**n`` channels below it (the node
+    links being level 0's); the paper uses this to note both networks have
+    ``n·k**n`` links and the quaternary fat-tree twice as many as the
+    bidimensional cube of equal size.
+    """
+    _check(k, n)
+    return n * k**n
+
+
+# -- k-ary n-cube -----------------------------------------------------------
+
+
+def cube_average_distance_uniform(k: int, n: int, include_self: bool = False) -> float:
+    """Average router-hop distance on a k-ary n-cube under uniform traffic.
+
+    Per dimension the average ring distance over all k offsets is ``k/4``
+    for even k and ``(k²-1)/(4k)`` for odd k; dimensions are independent.
+    """
+    _check(k, n)
+    per_dim = k / 4 if k % 2 == 0 else (k * k - 1) / (4 * k)
+    mean = n * per_dim  # over all ordered pairs, self pairs included
+    if include_self:
+        return mean
+    big_n = k**n
+    return mean * big_n / (big_n - 1)  # self pairs contribute 0 distance
+
+
+def cube_diameter(k: int, n: int) -> int:
+    """Maximal distance: ``n · floor(k/2)`` router hops."""
+    _check(k, n)
+    return n * (k // 2)
+
+
+def cube_num_channels(k: int, n: int) -> int:
+    """Bidirectional router-to-router channels: ``n·k**n`` (``n·k**n / 2``
+    for the hypercube, where the ± ports coincide)."""
+    _check(k, n)
+    if k == 2:
+        return n * k**n // 2
+    return n * k**n
+
+
+def cube_bisection_channels(k: int, n: int) -> int:
+    """Unidirectional channels crossing the bisection in ONE direction.
+
+    For even k, cutting one dimension in half severs each of the
+    ``k**(n-1)`` rings at two points (the middle and the wrap-around), so
+    ``2·k**(n-1)`` channels cross left-to-right (and as many right-to-left).
+
+    Raises:
+        TopologyError: for odd k (no balanced bisection).
+    """
+    _check(k, n)
+    if k % 2:
+        raise TopologyError(f"bisection defined for even k, got k={k}")
+    if k == 2:
+        # hypercube: the two "cut points" of a 2-ring are one collapsed
+        # channel (see KAryNCube.switch_links)
+        return k ** (n - 1)
+    return 2 * k ** (n - 1)
+
+
+def cube_capacity_flits_per_cycle(k: int, n: int) -> float:
+    """Theoretical per-node injection limit under uniform traffic (§5).
+
+    Half of uniform traffic crosses the bisection, and by symmetry half of
+    that flows each way, so per-node load λ satisfies
+    ``N·λ/4 <= cube_bisection_channels`` — i.e. λ_max = ``8/k`` flits per
+    cycle per node (0.5 for the 16-ary 2-cube).  This is the paper's
+    "twice the bisection bandwidth" upper bound.
+    """
+    return 4 * cube_bisection_channels(k, n) / k**n
+
+
+def cube_effective_capacity(k: int, n: int) -> float:
+    """Bisection capacity capped by the node interface (1 flit/cycle).
+
+    High-dimensional, low-radix cubes have bisection capacity above what a
+    single injection/ejection channel can source or sink; the effective
+    per-node limit is the smaller of the two.  For the paper's 16-ary
+    2-cube the bisection (0.5) is the binding constraint, so this equals
+    :func:`cube_capacity_flits_per_cycle` there.
+    """
+    return min(cube_capacity_flits_per_cycle(k, n), 1.0)
+
+
+def tree_capacity_flits_per_cycle(k: int, n: int) -> float:
+    """Theoretical per-node injection limit for the tree (§5).
+
+    k-ary n-trees are not bisection-limited; the bound is simply the
+    unidirectional bandwidth of the node-to-switch link: 1 flit/cycle.
+    """
+    _check(k, n)
+    return 1.0
+
+
+# -- exact enumerators (shared by tests and reports) -------------------------
+
+
+def exact_average_distance(
+    topo: Topology, mapping=None, include_self: bool = False
+) -> float:
+    """Brute-force average distance, optionally under a permutation.
+
+    Args:
+        topo: any :class:`Topology`.
+        mapping: callable ``src -> dst``; ``None`` means uniform (all
+            ordered pairs).
+        include_self: count zero-distance pairs in the average.
+    """
+    total = 0
+    count = 0
+    if mapping is None:
+        for s in range(topo.num_nodes):
+            for d in range(topo.num_nodes):
+                if s == d and not include_self:
+                    continue
+                total += topo.min_distance(s, d)
+                count += 1
+    else:
+        for s in range(topo.num_nodes):
+            d = mapping(s)
+            if s == d and not include_self:
+                continue
+            total += topo.min_distance(s, d)
+            count += 1
+    if count == 0:
+        raise TopologyError("no pairs to average over")
+    return total / count
+
+
+def capacity_flits_per_cycle(topo: Topology) -> float:
+    """Per-node theoretical capacity for any supported topology (§5)."""
+    if isinstance(topo, KAryNTree):
+        return tree_capacity_flits_per_cycle(topo.k, topo.n)
+    if isinstance(topo, KAryNCube):
+        return cube_capacity_flits_per_cycle(topo.k, topo.n)
+    raise TopologyError(f"no capacity model for {type(topo).__name__}")
+
+
+def _check(k: int, n: int) -> None:
+    if k < 2 or n < 1:
+        raise TopologyError(f"invalid parameters k={k}, n={n}")

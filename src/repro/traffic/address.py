@@ -1,0 +1,104 @@
+"""Node address arithmetic (paper §7).
+
+The paper labels each node of a k-ary n-cube or k-ary n-tree with the base-k
+number ``p0 p1 ... p_{n-1}`` (``p0`` most significant) and, when ``k`` is a
+power of two, with the binary string ``a0 a1 ... a_{L-1}`` where
+``L = n·log2(k)`` and ``a0`` is the most significant bit.  The synthetic
+permutation patterns (complement, bit reversal, transpose) are defined as
+operations on that bit string; this module implements them as integer bit
+twiddling so pattern evaluation is O(1) per packet.
+"""
+
+from __future__ import annotations
+
+from ..errors import TopologyError
+
+
+def node_to_digits(node: int, k: int, n: int) -> tuple[int, ...]:
+    """Decompose a node id into its base-k digits ``(p0, ..., p_{n-1})``.
+
+    ``p0`` is the most significant digit, matching the paper's labeling.
+
+    Args:
+        node: node id in ``[0, k**n)``.
+        k: radix (``>= 2``).
+        n: number of digits (``>= 1``).
+
+    Raises:
+        TopologyError: if the node id is out of range or k/n are invalid.
+    """
+    if k < 2 or n < 1:
+        raise TopologyError(f"invalid radix/dimension: k={k}, n={n}")
+    if not 0 <= node < k**n:
+        raise TopologyError(f"node {node} out of range [0, {k**n})")
+    digits = []
+    for _ in range(n):
+        digits.append(node % k)
+        node //= k
+    return tuple(reversed(digits))
+
+
+def digits_to_node(digits: tuple[int, ...] | list[int], k: int) -> int:
+    """Inverse of :func:`node_to_digits`: compose base-k digits into a node id.
+
+    Raises:
+        TopologyError: if any digit is outside ``[0, k)``.
+    """
+    node = 0
+    for d in digits:
+        if not 0 <= d < k:
+            raise TopologyError(f"digit {d} out of range [0, {k})")
+        node = node * k + d
+    return node
+
+
+def bit_length(k: int, n: int) -> int:
+    """Return ``L = n·log2(k)``, the node-label bit-string length.
+
+    Raises:
+        TopologyError: if ``k`` is not a power of two (the paper's
+        permutation patterns are only defined in that case).
+    """
+    if k < 2 or k & (k - 1):
+        raise TopologyError(f"k={k} is not a power of two")
+    return n * (k.bit_length() - 1)
+
+
+def bit_complement(node: int, nbits: int) -> int:
+    """Complement every bit: ``a_i -> NOT a_i`` (paper's complement pattern)."""
+    _check_range(node, nbits)
+    return ~node & ((1 << nbits) - 1)
+
+
+def bit_reverse(node: int, nbits: int) -> int:
+    """Reverse the bit string: destination ``a_{L-1} ... a_0``."""
+    _check_range(node, nbits)
+    out = 0
+    for _ in range(nbits):
+        out = (out << 1) | (node & 1)
+        node >>= 1
+    return out
+
+
+def bit_transpose(node: int, nbits: int) -> int:
+    """Swap the two halves of the bit string (paper's transpose pattern).
+
+    Destination is ``a_{L/2} ... a_{L-1} a_0 ... a_{L/2-1}``; on a matrix of
+    nodes this reflects each node across the main diagonal.
+
+    Raises:
+        TopologyError: if ``nbits`` is odd (the paper assumes n even).
+    """
+    _check_range(node, nbits)
+    if nbits % 2:
+        raise TopologyError(f"transpose requires an even bit length, got {nbits}")
+    half = nbits // 2
+    low_mask = (1 << half) - 1
+    return ((node & low_mask) << half) | (node >> half)
+
+
+def _check_range(node: int, nbits: int) -> None:
+    if nbits < 1:
+        raise TopologyError(f"invalid bit length {nbits}")
+    if not 0 <= node < (1 << nbits):
+        raise TopologyError(f"node {node} out of range for {nbits}-bit labels")

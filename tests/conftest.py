@@ -1,0 +1,53 @@
+"""Shared fixtures for the test-suite.
+
+Simulation tests run on deliberately small networks and short windows; the
+paper-scale 256-node networks appear only in the (slow-marked) integration
+checks and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.run import build_engine, cube_config, tree_config
+
+
+def small_tree_config(**overrides):
+    """2-ary 2-tree, short windows — milliseconds per run."""
+    defaults = dict(
+        k=2, n=2, vcs=2, load=0.2, seed=7, warmup_cycles=100, total_cycles=600
+    )
+    defaults.update(overrides)
+    return tree_config(**defaults)
+
+
+def small_cube_config(**overrides):
+    """4-ary 2-cube, short windows — milliseconds per run."""
+    defaults = dict(
+        k=4, n=2, algorithm="dor", vcs=4, load=0.2, seed=7,
+        warmup_cycles=100, total_cycles=600,
+    )
+    defaults.update(overrides)
+    return cube_config(**defaults)
+
+
+@pytest.fixture
+def tree_engine():
+    """Idle engine (zero load) on a 4-ary 2-tree, for routing unit tests."""
+    return build_engine(tree_config(k=4, n=2, vcs=2, load=0.0, total_cycles=10, warmup_cycles=0))
+
+
+@pytest.fixture
+def cube_engine_dor():
+    """Idle engine (zero load) on a 4-ary 2-cube with DOR."""
+    return build_engine(
+        cube_config(k=4, n=2, algorithm="dor", vcs=4, load=0.0, total_cycles=10, warmup_cycles=0)
+    )
+
+
+@pytest.fixture
+def cube_engine_duato():
+    """Idle engine (zero load) on a 4-ary 2-cube with Duato routing."""
+    return build_engine(
+        cube_config(k=4, n=2, algorithm="duato", vcs=4, load=0.0, total_cycles=10, warmup_cycles=0)
+    )

@@ -1,0 +1,133 @@
+"""Unit tests for node address arithmetic (repro.traffic.address)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.traffic.address import (
+    bit_complement,
+    bit_length,
+    bit_reverse,
+    bit_transpose,
+    digits_to_node,
+    node_to_digits,
+)
+
+
+class TestDigits:
+    def test_round_trip_base4(self):
+        for node in range(256):
+            digits = node_to_digits(node, 4, 4)
+            assert digits_to_node(digits, 4) == node
+
+    def test_most_significant_first(self):
+        # node 0b1101 = 13 in base 2 with 4 digits: p0 is the MSB
+        assert node_to_digits(13, 2, 4) == (1, 1, 0, 1)
+
+    def test_base16(self):
+        assert node_to_digits(0xAB, 16, 2) == (0xA, 0xB)
+
+    def test_zero(self):
+        assert node_to_digits(0, 4, 3) == (0, 0, 0)
+
+    def test_max_value(self):
+        assert node_to_digits(4**3 - 1, 4, 3) == (3, 3, 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(TopologyError):
+            node_to_digits(16, 4, 2)
+        with pytest.raises(TopologyError):
+            node_to_digits(-1, 4, 2)
+
+    def test_invalid_radix_rejected(self):
+        with pytest.raises(TopologyError):
+            node_to_digits(0, 1, 2)
+        with pytest.raises(TopologyError):
+            node_to_digits(0, 4, 0)
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(TopologyError):
+            digits_to_node((4,), 4)
+        with pytest.raises(TopologyError):
+            digits_to_node((-1,), 4)
+
+
+class TestBitLength:
+    def test_paper_networks(self):
+        assert bit_length(4, 4) == 8  # 4-ary 4-tree
+        assert bit_length(16, 2) == 8  # 16-ary 2-cube: same label space
+
+    def test_hypercube(self):
+        assert bit_length(2, 8) == 8
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(TopologyError):
+            bit_length(3, 2)
+        with pytest.raises(TopologyError):
+            bit_length(6, 2)
+
+
+class TestComplement:
+    def test_flips_all_bits(self):
+        assert bit_complement(0, 8) == 255
+        assert bit_complement(0b10110001, 8) == 0b01001110
+
+    def test_involution(self):
+        for x in range(256):
+            assert bit_complement(bit_complement(x, 8), 8) == x
+
+    def test_no_fixed_points(self):
+        assert all(bit_complement(x, 8) != x for x in range(256))
+
+    def test_out_of_range(self):
+        with pytest.raises(TopologyError):
+            bit_complement(256, 8)
+
+
+class TestReverse:
+    def test_small_cases(self):
+        assert bit_reverse(0b0001, 4) == 0b1000
+        assert bit_reverse(0b0110, 4) == 0b0110
+        assert bit_reverse(0b1011, 4) == 0b1101
+
+    def test_involution(self):
+        for x in range(256):
+            assert bit_reverse(bit_reverse(x, 8), 8) == x
+
+    def test_palindrome_count_matches_paper(self):
+        # "There are 16 nodes that have a palindrome bit string" (§9)
+        fixed = sum(1 for x in range(256) if bit_reverse(x, 8) == x)
+        assert fixed == 16
+
+    def test_preserves_popcount(self):
+        for x in range(256):
+            assert bin(bit_reverse(x, 8)).count("1") == bin(x).count("1")
+
+
+class TestTranspose:
+    def test_swaps_halves(self):
+        # a0..a3 | a4..a7 -> a4..a7 | a0..a3
+        assert bit_transpose(0xAB, 8) == 0xBA
+        assert bit_transpose(0xF0, 8) == 0x0F
+
+    def test_involution(self):
+        for x in range(256):
+            assert bit_transpose(bit_transpose(x, 8), 8) == x
+
+    def test_fixed_points_are_diagonal(self):
+        # fixed points have equal halves: 16 of them in 8 bits
+        fixed = [x for x in range(256) if bit_transpose(x, 8) == x]
+        assert len(fixed) == 16
+        assert all((x >> 4) == (x & 0xF) for x in fixed)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(TopologyError):
+            bit_transpose(0, 7)
+
+    def test_matrix_interpretation(self):
+        # On a 16x16 grid (row = high nibble, col = low nibble) transpose
+        # reflects across the main diagonal.
+        for row in range(16):
+            for col in range(16):
+                src = (row << 4) | col
+                dst = bit_transpose(src, 8)
+                assert dst == (col << 4) | row

@@ -1,0 +1,66 @@
+"""Unit tests for fair arbitration (repro.router.arbiter)."""
+
+import pytest
+
+from repro.router.arbiter import RoundRobinArbiter, round_robin_pick
+
+
+class TestRoundRobinPick:
+    def test_picks_first_eligible_from_start(self):
+        items = ["a", "b", "c", "d"]
+        nxt, item = round_robin_pick(items, 1, lambda x: x in ("c", "a"))
+        assert item == "c"
+        assert nxt == 3
+
+    def test_wraps_around(self):
+        items = ["a", "b", "c"]
+        nxt, item = round_robin_pick(items, 2, lambda x: x == "a")
+        assert item == "a"
+        assert nxt == 1
+
+    def test_none_eligible(self):
+        nxt, item = round_robin_pick([1, 2, 3], 0, lambda x: False)
+        assert item is None
+        assert nxt == 0
+
+    def test_empty(self):
+        nxt, item = round_robin_pick([], 5, lambda x: True)
+        assert item is None
+
+    def test_rotation_is_fair(self):
+        items = [0, 1, 2]
+        start = 0
+        picks = []
+        for _ in range(6):
+            start, item = round_robin_pick(items, start, lambda x: True)
+            picks.append(item)
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+
+class TestRoundRobinArbiter:
+    def test_grants_rotate(self):
+        arb = RoundRobinArbiter(3)
+        grants = [arb.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_no_requests(self):
+        arb = RoundRobinArbiter(2)
+        assert arb.grant([False, False]) is None
+
+    def test_no_starvation(self):
+        # input 2 requests constantly, 0 intermittently; both get served
+        arb = RoundRobinArbiter(3)
+        served = {0: 0, 2: 0}
+        for i in range(20):
+            req = [i % 2 == 0, False, True]
+            g = arb.grant(req)
+            if g is not None:
+                served[g] += 1
+        assert served[0] > 0 and served[2] > 0
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+        arb = RoundRobinArbiter(2)
+        with pytest.raises(ValueError):
+            arb.grant([True])

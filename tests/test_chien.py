@@ -1,0 +1,138 @@
+"""Unit tests for Chien's cost model (repro.timing.chien) — Tables 1 and 2."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing.chien import (
+    RouterDelays,
+    WireLength,
+    crossbar_delay_ns,
+    cube_crossbar_ports,
+    cube_freedom_deterministic,
+    cube_freedom_duato,
+    link_delay_ns,
+    router_delays,
+    routing_delay_ns,
+    table1_cube_delays,
+    table2_tree_delays,
+    tree_crossbar_ports,
+    tree_freedom_adaptive,
+)
+
+
+class TestEquations:
+    def test_eq1_routing(self):
+        assert routing_delay_ns(1) == pytest.approx(4.7)
+        assert routing_delay_ns(2) == pytest.approx(5.9)
+        assert routing_delay_ns(8) == pytest.approx(4.7 + 3.6)
+
+    def test_eq2_crossbar(self):
+        assert crossbar_delay_ns(1) == pytest.approx(3.4)
+        assert crossbar_delay_ns(16) == pytest.approx(3.4 + 2.4)
+
+    def test_eq3_short_link(self):
+        assert link_delay_ns(1) == pytest.approx(5.14)
+        assert link_delay_ns(4) == pytest.approx(6.34)
+
+    def test_eq4_medium_link(self):
+        assert link_delay_ns(1, WireLength.MEDIUM) == pytest.approx(9.64)
+        assert link_delay_ns(4, WireLength.MEDIUM) == pytest.approx(10.84)
+
+    def test_logarithmic_growth(self):
+        # doubling F adds exactly 1.2 ns
+        assert routing_delay_ns(12) - routing_delay_ns(6) == pytest.approx(1.2)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            routing_delay_ns(0)
+        with pytest.raises(ConfigurationError):
+            crossbar_delay_ns(0)
+        with pytest.raises(ConfigurationError):
+            link_delay_ns(0)
+
+
+class TestParameters:
+    def test_cube_deterministic_freedom(self):
+        assert cube_freedom_deterministic(4) == 2  # paper F=2
+
+    def test_cube_duato_freedom(self):
+        assert cube_freedom_duato(2, 4) == 6  # paper F=6
+
+    def test_cube_ports(self):
+        assert cube_crossbar_ports(2, 4) == 17  # paper P=17
+
+    def test_tree_freedom(self):
+        assert tree_freedom_adaptive(4, 1) == 7
+        assert tree_freedom_adaptive(4, 2) == 14
+        assert tree_freedom_adaptive(4, 4) == 28
+
+    def test_tree_ports(self):
+        assert tree_crossbar_ports(4, 1) == 8
+        assert tree_crossbar_ports(4, 4) == 32
+
+    def test_deterministic_needs_even_vcs(self):
+        with pytest.raises(ConfigurationError):
+            cube_freedom_deterministic(3)
+
+
+class TestTable1:
+    """Paper Table 1, digit for digit (paper rounds to printed precision)."""
+
+    def test_deterministic_row(self):
+        d = table1_cube_delays()["deterministic"]
+        assert d.rounded() == (5.9, 5.85, 6.34, 6.34)
+        assert d.limiting_factor() == "link"
+
+    def test_duato_row(self):
+        d = table1_cube_delays()["duato"]
+        assert d.rounded() == (7.8, 5.85, 6.34, 7.8)
+        assert d.limiting_factor() == "routing"
+
+
+class TestTable2:
+    """Paper Table 2; T_routing differs by 0.01 ns (the paper truncates
+    8.068... to 8.06 where round-half-even gives 8.07)."""
+
+    @pytest.mark.parametrize(
+        "vcs,expected",
+        [
+            (1, (8.06, 5.2, 9.64, 9.64)),
+            (2, (9.26, 5.8, 10.24, 10.24)),
+            (4, (10.46, 6.4, 10.84, 10.84)),
+        ],
+    )
+    def test_rows(self, vcs, expected):
+        d = table2_tree_delays()[vcs]
+        got = d.rounded()
+        assert got[0] == pytest.approx(expected[0], abs=0.011)
+        assert got[1:] == expected[1:]
+
+    def test_wire_limited_at_low_vcs(self):
+        delays = table2_tree_delays()
+        assert delays[1].limiting_factor() == "link"
+        assert delays[2].limiting_factor() == "link"
+        # at 4 VCs the gap is narrow but the wire still wins (10.47 < 10.84)
+        assert delays[4].limiting_factor() == "link"
+
+    def test_diminishing_returns_beyond_4_vcs(self):
+        # §11: "with more virtual channels the routing complexity becomes
+        # the limiting factor"
+        d8 = table2_tree_delays(vc_variants=(8,))[8]
+        assert d8.limiting_factor() == "routing"
+
+
+class TestRouterDelays:
+    def test_clock_is_max(self):
+        d = RouterDelays(routing_ns=3.0, crossbar_ns=7.0, link_ns=5.0)
+        assert d.clock_ns == 7.0
+        assert d.limiting_factor() == "crossbar"
+
+    def test_rounded_digits(self):
+        d = RouterDelays(1.2345, 2.3456, 3.4567)
+        assert d.rounded(1) == (1.2, 2.3, 3.5, 3.5)
+
+    def test_router_delays_composition(self):
+        d = router_delays(freedom=2, ports=17, virtual_channels=4, wires=WireLength.SHORT)
+        assert d.routing_ns == pytest.approx(4.7 + 1.2 * math.log2(2))

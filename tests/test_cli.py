@@ -1,0 +1,133 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.network == "tree"
+        assert args.load == 0.5
+
+    def test_fig_pattern_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--pattern", "tornado"])
+
+    def test_sweep_accepts_extension_patterns(self):
+        args = build_parser().parse_args(["sweep", "--pattern", "tornado"])
+        assert args.pattern == "tornado"
+
+
+class TestCommands:
+    def test_tables(self, capsys):
+        assert main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 2" in out
+        assert "6.340" in out
+
+    def test_info_tree(self, capsys):
+        assert main(["info", "--network", "tree"]) == 0
+        out = capsys.readouterr().out
+        assert "KAryNTree" in out
+        assert "1.0 flits/cycle" in out
+
+    def test_info_cube(self, capsys):
+        assert main(["info", "--network", "cube", "--k", "4", "--n", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "16 nodes" in out
+
+    def test_run_small(self, capsys):
+        code = main(
+            [
+                "run",
+                "--network", "cube",
+                "--k", "4",
+                "--n", "2",
+                "--algorithm", "dor",
+                "--load", "0.2",
+                "--profile", "fast",
+            ]
+        )
+        assert code == 0
+        assert "accepted=" in capsys.readouterr().out
+
+    def test_sweep_small(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--network", "tree",
+                "--k", "2",
+                "--n", "2",
+                "--vcs", "2",
+                "--profile", "fast",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "saturation:" in out
+
+    def test_drain(self, capsys):
+        code = main(
+            [
+                "drain",
+                "--network", "tree",
+                "--k", "2",
+                "--n", "2",
+                "--vcs", "2",
+                "--pattern", "complement",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "packets drained: 4" in out
+
+    def test_drain_rejects_uniform(self, capsys):
+        code = main(
+            ["drain", "--network", "tree", "--k", "2", "--n", "2", "--vcs", "2"]
+        )
+        assert code == 2  # uniform is not a permutation
+
+    def test_find_sat(self, capsys):
+        code = main(
+            [
+                "find-sat",
+                "--network", "cube",
+                "--k", "4",
+                "--n", "2",
+                "--algorithm", "dor",
+                "--profile", "fast",
+                "--resolution", "0.2",
+            ]
+        )
+        assert code == 0
+        assert "saturation:" in capsys.readouterr().out
+
+    def test_fig_plot_flag(self, capsys):
+        # plotting is only wired for fig5/fig6
+        args = build_parser().parse_args(["fig5", "--plot"])
+        assert args.plot
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--plot"])
+
+    def test_error_exit_code(self, capsys):
+        # duato needs >= 3 VCs: ConfigurationError -> exit 2, message on stderr
+        code = main(
+            [
+                "run",
+                "--network", "cube",
+                "--k", "4",
+                "--n", "2",
+                "--algorithm", "duato",
+                "--vcs", "2",
+                "--profile", "fast",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,162 @@
+"""Unit tests for k-ary n-cubes (repro.topology.cube)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.cube import KAryNCube
+
+
+@pytest.fixture(scope="module")
+def cube16():
+    return KAryNCube(16, 2)
+
+
+@pytest.fixture(scope="module")
+def cube4():
+    return KAryNCube(4, 2)
+
+
+class TestCounts:
+    def test_paper_network(self, cube16):
+        assert cube16.num_nodes == 256
+        assert cube16.num_switches == 256
+        assert cube16.ports_per_switch() == 4
+
+    def test_link_count(self, cube16):
+        assert len(cube16.switch_links()) == 2 * 256  # n * k**n
+
+    def test_hypercube_links(self):
+        h = KAryNCube(2, 3)
+        assert h.ports_per_switch() == 3
+        assert len(h.switch_links()) == 3 * 8 // 2  # 12 edges of Q3
+
+    def test_node_links(self, cube16):
+        nls = cube16.node_links()
+        assert len(nls) == 256
+        assert all(nl.node == nl.switch for nl in nls)
+        assert all(nl.port == 4 for nl in nls)
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            KAryNCube(1, 2)
+        with pytest.raises(TopologyError):
+            KAryNCube(4, 0)
+
+
+class TestCoordinates:
+    def test_round_trip(self, cube16):
+        for node in range(256):
+            assert cube16.node_at(cube16.coordinates(node)) == node
+
+    def test_digit(self, cube16):
+        assert cube16.coordinates(0xAB) == (0xA, 0xB)
+        assert cube16.digit(0xAB, 0) == 0xA
+        assert cube16.digit(0xAB, 1) == 0xB
+
+    def test_wrong_arity(self, cube16):
+        with pytest.raises(TopologyError):
+            cube16.node_at((1, 2, 3))
+
+    def test_neighbor_wraparound(self, cube16):
+        assert cube16.neighbor(0x0F, 1, +1) == 0x00
+        assert cube16.neighbor(0x00, 1, -1) == 0x0F
+        assert cube16.neighbor(0xF0, 0, +1) == 0x00
+
+    def test_neighbor_interior(self, cube16):
+        assert cube16.neighbor(0x55, 0, +1) == 0x65
+        assert cube16.neighbor(0x55, 1, -1) == 0x54
+
+    def test_neighbor_validation(self, cube16):
+        with pytest.raises(TopologyError):
+            cube16.neighbor(0, 2, +1)
+        with pytest.raises(TopologyError):
+            cube16.neighbor(0, 0, 2)
+
+    def test_neighbor_involution(self, cube4):
+        for node in range(16):
+            for dim in range(2):
+                assert cube4.neighbor(cube4.neighbor(node, dim, +1), dim, -1) == node
+
+
+class TestWiring:
+    def test_links_join_matching_ports(self, cube16):
+        for link in cube16.switch_links():
+            # + port meets - port of the +1 neighbor in the same dimension
+            dim = link.port_a // 2
+            assert link.port_a == 2 * dim
+            assert link.port_b == 2 * dim + 1
+            assert cube16.neighbor(link.switch_a, dim, +1) == link.switch_b
+
+    def test_each_port_wired_once(self, cube4):
+        used = set()
+        for link in cube4.switch_links():
+            for key in ((link.switch_a, link.port_a), (link.switch_b, link.port_b)):
+                assert key not in used
+                used.add(key)
+        assert len(used) == 16 * 4  # every link port of every router
+
+    def test_connected_and_regular(self, cube4):
+        g = cube4.to_networkx()
+        assert nx.is_connected(g)
+        for s in range(16):
+            # 4 ring neighbors + the node interface
+            assert g.degree(("switch", s)) == 5
+
+
+class TestGeometry:
+    def test_dimension_offset_sign(self, cube16):
+        a = cube16.node_at((0, 2))
+        b = cube16.node_at((0, 5))
+        assert cube16.dimension_offset(a, b, 1) == 3
+        assert cube16.dimension_offset(b, a, 1) == -3
+
+    def test_dimension_offset_wrap(self, cube16):
+        a = cube16.node_at((0, 15))
+        b = cube16.node_at((0, 1))
+        assert cube16.dimension_offset(a, b, 1) == 2  # through the wrap
+
+    def test_half_ring_tie(self, cube16):
+        a = cube16.node_at((0, 0))
+        b = cube16.node_at((0, 8))
+        assert cube16.dimension_offset(a, b, 1) == 8  # positive by convention
+        assert cube16.minimal_directions(a, b, 1) == (1, -1)
+
+    def test_minimal_directions_aligned(self, cube16):
+        assert cube16.minimal_directions(5, 5, 0) == ()
+
+    def test_minimal_directions_single(self, cube16):
+        a = cube16.node_at((0, 2))
+        b = cube16.node_at((0, 5))
+        assert cube16.minimal_directions(a, b, 1) == (1,)
+        assert cube16.minimal_directions(b, a, 1) == (-1,)
+
+    def test_crosses_wraparound(self, cube16):
+        lo = cube16.node_at((0, 1))
+        hi = cube16.node_at((0, 14))
+        assert cube16.crosses_wraparound(hi, lo, 1, +1)  # 14 -> 1 going up wraps
+        assert cube16.crosses_wraparound(lo, hi, 1, -1)  # 1 -> 14 going down wraps
+        assert not cube16.crosses_wraparound(lo, cube16.node_at((0, 3)), 1, +1)
+        assert not cube16.crosses_wraparound(lo, lo, 1, +1)
+
+
+class TestDistances:
+    def test_against_networkx(self, cube4):
+        g = cube4.to_networkx()
+        for src in range(16):
+            for dst in range(16):
+                # subtract the two node-interface hops networkx counts
+                expect = nx.shortest_path_length(g, ("node", src), ("node", dst))
+                expect = max(expect - 2, 0)
+                assert cube4.min_distance(src, dst) == expect
+
+    def test_hypercube_distance_is_hamming(self):
+        h = KAryNCube(2, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert h.min_distance(src, dst) == bin(src ^ dst).count("1")
+
+    def test_diameter_sample(self, cube16):
+        a = cube16.node_at((0, 0))
+        b = cube16.node_at((8, 8))
+        assert cube16.min_distance(a, b) == 16  # n * k/2

@@ -1,0 +1,100 @@
+"""Unit tests for the dimension study and the ASCII plot renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.dimension import (
+    PIN_BUDGET_BYTES,
+    dimension_study,
+    normalize_cube,
+)
+from repro.experiments.report import render_ascii_plot
+from repro.metrics.cnf import CNFResult
+from repro.metrics.series import LoadPoint, LoadSweepSeries
+from repro.profiles import Profile
+from repro.timing.chien import WireLength
+
+
+class TestNormalizeCube:
+    def test_reference_shape(self):
+        v = normalize_cube(16, 2)
+        assert v.flit_bytes == 4
+        assert v.packet_flits == 16
+        assert v.wire is WireLength.SHORT
+        assert v.clock_ns == pytest.approx(7.8, abs=0.01)  # Duato Table 1
+        assert v.capacity_flits_per_cycle == pytest.approx(0.5)
+
+    def test_four_cube(self):
+        v = normalize_cube(4, 4)
+        assert v.flit_bytes == 2  # 8 ports share the 16-byte pin budget
+        assert v.wire is WireLength.MEDIUM  # not embeddable with short wires
+        assert v.capacity_flits_per_cycle == 1.0  # node-interface capped
+
+    def test_hypercube(self):
+        v = normalize_cube(2, 8)
+        assert v.flit_bytes == 2  # 8 collapsed ports
+        assert v.packet_flits == 32
+        assert v.label == "2-ary 8-cube"
+
+    def test_deterministic_freedom(self):
+        duato = normalize_cube(16, 2, algorithm="duato")
+        det = normalize_cube(16, 2, algorithm="dor")
+        assert det.clock_ns <= duato.clock_ns
+
+    def test_pin_budget_must_divide(self):
+        # a 3-cube has 6 ports: 16 bytes split unevenly -> rejected
+        with pytest.raises(ConfigurationError):
+            normalize_cube(4, 3)
+
+    def test_pin_budget_constant(self):
+        for k, n in ((16, 2), (4, 4), (2, 8)):
+            v = normalize_cube(k, n)
+            ports = n if k == 2 else 2 * n
+            assert ports * v.flit_bytes == PIN_BUDGET_BYTES
+
+
+class TestDimensionStudy:
+    def test_tiny_study(self):
+        profile = Profile(name="tiny", warmup_cycles=50, total_cycles=300, sweep_points=2)
+        rows = dimension_study(shapes=((4, 2), (2, 4)), profile=profile, seed=3)
+        assert [r.variant.label for r in rows] == ["4-ary 2-cube", "2-ary 4-cube"]
+        for r in rows:
+            assert len(r.sweep) == 2
+            assert r.saturation_bits_per_ns > 0
+            assert r.low_load_latency_ns > 0
+
+
+class TestAsciiPlot:
+    @staticmethod
+    def cnf():
+        series = LoadSweepSeries(
+            label="a", network="cube", algorithm="dor", vcs=4, pattern="uniform"
+        )
+        series.points = [
+            LoadPoint(offered=x, offered_measured=x, accepted=min(x, 0.5),
+                      latency_cycles=50 + 100 * x, delivered_packets=10)
+            for x in (0.1, 0.5, 1.0)
+        ]
+        return CNFResult(title="demo", series=[series])
+
+    def test_accepted_plot(self):
+        text = render_ascii_plot(self.cnf(), "accepted", width=30, height=8)
+        assert "demo" in text
+        assert "o=a" in text  # legend
+        assert text.count("o") >= 3  # all points plotted
+
+    def test_latency_plot(self):
+        text = render_ascii_plot(self.cnf(), "latency", width=30, height=8)
+        assert "cycles" in text
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            render_ascii_plot(self.cnf(), "throughput")
+
+    def test_handles_missing_latency(self):
+        cnf = self.cnf()
+        cnf.series[0].points = [
+            LoadPoint(offered=0.5, offered_measured=0.5, accepted=0.5,
+                      latency_cycles=None, delivered_packets=0)
+        ]
+        assert "no data" in render_ascii_plot(cnf, "latency")

@@ -1,0 +1,47 @@
+"""Smoke tests for the runnable examples.
+
+Each example is executed as a subprocess, exactly as a user would run it.
+Only the faster examples run here (the full comparison example takes
+minutes and is exercised by the Figure 7 benchmark path instead).
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "4-ary 4-tree" in out
+        assert "16-ary 2-cube" in out
+        assert "accepted bandwidth" in out
+
+    def test_congestion_free(self):
+        out = run_example("congestion_free.py")
+        assert "congestion-free = True" in out  # complement
+        assert "congestion-free = False" in out  # bitrev/transpose
+
+    def test_custom_pattern(self):
+        out = run_example("custom_pattern.py")
+        assert "block_cyclic" in out.lower() or "sample mappings" in out
+
+    def test_saturation_study(self):
+        out = run_example("saturation_study.py", "cube")
+        assert "saturation point:" in out

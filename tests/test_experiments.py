@@ -1,0 +1,133 @@
+"""Tests for the figure/table drivers and report rendering.
+
+Simulation-backed drivers run here with tiny custom parameters (small
+networks are not possible for the figure drivers, which pin the paper's
+topologies — so these use the FAST profile and accept coarse results;
+the real reproductions live in benchmarks/).
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.fig5 import fig5_experiment, fig5_loads
+from repro.experiments.fig6 import fig6_experiment
+from repro.experiments.fig7 import fig7_experiment
+from repro.experiments.report import (
+    render_cnf,
+    render_comparison,
+    render_delay_table,
+    render_table,
+)
+from repro.experiments.sweep import clear_cache
+from repro.experiments.tables import PAPER_TABLE1, PAPER_TABLE2, table1_rows, table2_rows
+from repro.profiles import FAST, Profile
+
+#: minimal profile for driver plumbing tests — 2 loads, tiny windows
+TINY = Profile(name="tiny", warmup_cycles=50, total_cycles=250, sweep_points=2)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestTables:
+    def test_table1_matches_paper(self):
+        for row in table1_rows():
+            expect = PAPER_TABLE1[row["algorithm"]]
+            got = (row["T_routing"], row["T_crossbar"], row["T_link"], row["T_clock"])
+            assert got == pytest.approx(expect, abs=0.011)
+
+    def test_table2_matches_paper(self):
+        for row in table2_rows():
+            expect = PAPER_TABLE2[row["V"]]
+            got = (row["T_routing"], row["T_crossbar"], row["T_link"], row["T_clock"])
+            assert got == pytest.approx(expect, abs=0.011)
+
+    def test_parameters_echoed(self):
+        rows = table1_rows()
+        assert all(r["P"] == 17 for r in rows)
+        assert {r["F"] for r in rows} == {2, 6}
+
+
+class TestFigureDrivers:
+    def test_fig5_loads_follow_profile(self):
+        assert len(fig5_loads(FAST)) == FAST.sweep_points
+
+    def test_fig5_structure(self):
+        cnf = fig5_experiment("uniform", TINY, vc_variants=(1, 2))
+        assert len(cnf.series) == 2
+        assert [s.label for s in cnf.series] == ["1 vc", "2 vc"]
+        assert all(len(s) == 2 for s in cnf.series)
+        assert "4-ary 4-tree" in cnf.title
+
+    def test_fig5_rejects_extension_patterns(self):
+        with pytest.raises(ConfigurationError):
+            fig5_experiment("tornado", TINY)
+
+    def test_fig6_structure(self):
+        cnf = fig6_experiment("uniform", TINY)
+        assert [s.label for s in cnf.series] == ["deterministic", "Duato"]
+        assert {s.algorithm for s in cnf.series} == {"dor", "duato"}
+
+    def test_fig6_rejects_extension_patterns(self):
+        with pytest.raises(ConfigurationError):
+            fig6_experiment("hotspot", TINY)
+
+    def test_fig7_reuses_cached_runs(self):
+        from repro.experiments.sweep import _CACHE
+
+        fig5_experiment("uniform", TINY, vc_variants=(1, 2, 4))
+        fig6_experiment("uniform", TINY)
+        before = len(_CACHE)
+        result = fig7_experiment("uniform", TINY)
+        assert len(_CACHE) == before  # nothing re-simulated
+        assert len(result.series) == 5
+
+    def test_fig7_scalings(self):
+        result = fig7_experiment("uniform", TINY)
+        labels = {s.label for s in result.series}
+        assert labels == {
+            "cube, deterministic",
+            "cube, Duato",
+            "fat tree, 1 vc",
+            "fat tree, 2 vc",
+            "fat tree, 4 vc",
+        }
+        for s in result.series:
+            if s.label.startswith("cube"):
+                assert s.scaling.flit_bytes == 4
+                expect = 7.8 if "Duato" in s.label else 6.34
+                assert s.scaling.clock_ns == pytest.approx(expect, abs=0.01)
+            else:
+                assert s.scaling.flit_bytes == 2
+        summary = result.saturation_summary()
+        assert all(v > 0 for v in summary.values())
+
+
+class TestReport:
+    def test_render_table_alignment(self):
+        out = render_table(["a", "bb"], [[1, 2.5], [10, None]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "2.500" in out
+        assert "-" in lines[-1]  # None rendered as dash
+
+    def test_render_cnf_contains_series(self):
+        cnf = fig6_experiment("uniform", TINY)
+        text = render_cnf(cnf)
+        assert "acc[deterministic]" in text
+        assert "saturation points" in text
+
+    def test_render_comparison(self):
+        result = fig7_experiment("uniform", TINY)
+        text = render_comparison(result)
+        assert "bits/ns" in text
+        assert "fat tree, 4 vc" in text
+
+    def test_render_delay_table(self):
+        text = render_delay_table(table1_rows(), "Table 1")
+        assert "deterministic" in text
+        assert "6.340" in text

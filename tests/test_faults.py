@@ -1,0 +1,135 @@
+"""Unit and behavioral tests for fault injection (repro.faults)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError, SimulationError
+from repro.faults import inject_tree_uplink_faults, random_uplink_faults
+from repro.sim.run import build_engine, cube_config, tree_config
+from repro.topology.tree import KAryNTree
+
+
+def make_engine(**overrides):
+    defaults = dict(
+        k=4, n=2, vcs=2, load=0.4, seed=9, warmup_cycles=100, total_cycles=1100
+    )
+    defaults.update(overrides)
+    return build_engine(tree_config(**defaults))
+
+
+class TestValidation:
+    def test_rejects_cube(self):
+        eng = build_engine(cube_config(k=4, n=2))
+        with pytest.raises(ConfigurationError, match="n-trees"):
+            inject_tree_uplink_faults(eng, [(0, 4)])
+
+    def test_rejects_down_port(self):
+        eng = make_engine()
+        with pytest.raises(ConfigurationError, match="up port"):
+            inject_tree_uplink_faults(eng, [(0, 1)])
+
+    def test_rejects_root_ports(self):
+        eng = make_engine()
+        root = eng.topology.switch_id(1, (), (0,))
+        with pytest.raises(ConfigurationError, match="root"):
+            inject_tree_uplink_faults(eng, [(root, 4)])
+
+    def test_rejects_total_switch_blackout(self):
+        eng = make_engine()
+        with pytest.raises(ConfigurationError, match="live ascent"):
+            inject_tree_uplink_faults(eng, [(0, 4), (0, 5), (0, 6), (0, 7)])
+
+    def test_allows_k_minus_one_faults_per_switch(self):
+        eng = make_engine()
+        assert inject_tree_uplink_faults(eng, [(0, 4), (0, 5), (0, 6)]) == 3
+
+    def test_duplicates_collapse(self):
+        eng = make_engine()
+        assert inject_tree_uplink_faults(eng, [(0, 4), (0, 4)]) == 1
+
+    def test_rejects_injection_after_traffic(self):
+        eng = make_engine()
+        eng.run()
+        busy = [
+            (s, p)
+            for s in range(eng.topology.num_switches)
+            if eng.topology.level_of(s) == 0
+            for p in eng.topology.up_ports()
+            if eng.out_lanes[s][p] and eng.out_lanes[s][p][0].packet is not None
+        ]
+        if busy:  # traffic left lanes allocated: injection must refuse
+            with pytest.raises(SimulationError, match="before running"):
+                inject_tree_uplink_faults(eng, busy[:1])
+
+
+class TestRandomFaults:
+    def test_distinct_and_safe(self):
+        topo = KAryNTree(4, 3)
+        faults = random_uplink_faults(topo, 30, seed=1)
+        assert len(faults) == len(set(faults)) == 30
+        per_switch = {}
+        for s, p in faults:
+            assert p in topo.up_ports()
+            assert topo.level_of(s) < 2
+            per_switch[s] = per_switch.get(s, 0) + 1
+        assert all(c <= 3 for c in per_switch.values())
+
+    def test_count_bounds(self):
+        topo = KAryNTree(2, 2)
+        # (n-1) * k**(n-1) * (k-1) = 2 safely failable channels
+        assert len(random_uplink_faults(topo, 2)) == 2
+        with pytest.raises(ConfigurationError):
+            random_uplink_faults(topo, 3)
+
+    def test_deterministic_by_seed(self):
+        topo = KAryNTree(4, 2)
+        assert random_uplink_faults(topo, 5, seed=7) == random_uplink_faults(topo, 5, seed=7)
+        assert random_uplink_faults(topo, 5, seed=7) != random_uplink_faults(topo, 5, seed=8)
+
+
+class TestMasking:
+    def test_adaptive_routes_around_faults(self):
+        eng = make_engine()
+        inject_tree_uplink_faults(eng, [(0, 4), (1, 5), (2, 6)])
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 50
+        assert not res.saturated  # 40% load still below the degraded capacity
+
+    def test_avoided_channels_carry_nothing(self):
+        eng = make_engine(load=0.8)
+        inject_tree_uplink_faults(eng, [(0, 4)])
+        eng.run()
+        faulted = eng.out_lanes[0][4]
+        assert all(lane.sent == 0 for lane in faulted)
+
+    def test_throughput_degrades_gracefully(self):
+        sustained = []
+        for nfaults in (0, 6, 12):
+            eng = make_engine(load=1.0, total_cycles=2100)
+            faults = random_uplink_faults(eng.topology, nfaults, seed=3)
+            inject_tree_uplink_faults(eng, faults)
+            res = eng.run()
+            sustained.append(res.accepted_fraction)
+        assert sustained[0] >= sustained[1] >= sustained[2] - 0.03
+        assert sustained[2] > 0.3 * sustained[0]  # degraded, not collapsed
+
+    def test_deterministic_routing_stalls_on_faults(self):
+        # the oblivious baseline cannot route around its fixed port: with
+        # only node 0's traffic in the network, the stall is total and the
+        # watchdog turns it into a DeadlockError
+        eng = make_engine(
+            algorithm="tree_deterministic", load=0.0,
+            total_cycles=4000, watchdog_cycles=600,
+        )
+        inject_tree_uplink_faults(eng, [(0, 4)])  # node 0's fixed ascent
+        eng.preload_packet(0, 15)
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_adaptive_same_scenario_succeeds(self):
+        # identical fault and traffic, adaptive algorithm: delivered
+        eng = make_engine(load=0.0, total_cycles=4000)
+        inject_tree_uplink_faults(eng, [(0, 4)])
+        eng.preload_packet(0, 15)
+        res = eng.run()
+        assert eng.delivered_packets_total == 1

@@ -1,0 +1,199 @@
+"""Integration tests: cross-module behaviors the paper's analysis relies on.
+
+These use reduced network sizes and windows (seconds, not minutes); the
+full 256-node reproductions live in benchmarks/.
+"""
+
+import pytest
+
+from repro.metrics.analytic import expected_zero_load_latency
+from repro.metrics.saturation import saturation_point
+from repro.experiments.sweep import clear_cache, run_sweep
+from repro.sim.run import build_engine, cube_config, simulate, tree_config
+from repro.traffic.address import bit_complement
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_cache()
+    yield
+    clear_cache()
+
+
+class TestAnalyticAgreement:
+    """At light load the measured latency must approach the zero-load model."""
+
+    def test_tree_uniform(self):
+        cfg = tree_config(
+            k=2, n=3, vcs=2, load=0.04, seed=5,
+            warmup_cycles=300, total_cycles=5300,
+        )
+        res = simulate(cfg)
+        from repro.topology.tree import KAryNTree
+
+        expect = expected_zero_load_latency(KAryNTree(2, 3), cfg.packet_flits)
+        assert res.avg_latency_cycles == pytest.approx(expect, rel=0.06)
+
+    def test_cube_complement(self):
+        cfg = cube_config(
+            k=4, n=2, algorithm="dor", pattern="complement", load=0.04,
+            seed=5, warmup_cycles=300, total_cycles=5300,
+        )
+        res = simulate(cfg)
+        from repro.topology.cube import KAryNCube
+
+        expect = expected_zero_load_latency(
+            KAryNCube(4, 2), cfg.packet_flits, mapping=lambda s: bit_complement(s, 4)
+        )
+        # deterministic routing on a fixed permutation at light load: the
+        # average should be within a couple of cycles of the model
+        assert res.avg_latency_cycles == pytest.approx(expect, rel=0.06)
+
+
+class TestVirtualChannelScaling:
+    """§8: more VCs raise the fat-tree's saturation point monotonically."""
+
+    def test_tree_uniform_vc_ordering(self):
+        sats = {}
+        for vcs in (1, 2, 4):
+            series = run_sweep(
+                lambda load, v=vcs: tree_config(
+                    k=2, n=3, vcs=v, load=load, seed=3,
+                    warmup_cycles=200, total_cycles=1500,
+                ),
+                [0.2, 0.4, 0.6, 0.8, 1.0],
+                label=f"{vcs}vc",
+            )
+            sats[vcs] = series.peak_accepted()
+        assert sats[1] < sats[2] < sats[4]
+
+
+class TestCongestionFreedom:
+    """§8.1: congestion-free permutations reach near-capacity throughput
+    even with a single virtual channel, unlike congesting permutations."""
+
+    def test_complement_beats_bitrev_on_tree(self):
+        results = {}
+        for pattern in ("complement", "bitrev"):
+            series = run_sweep(
+                lambda load, p=pattern: tree_config(
+                    k=4, n=2, vcs=1, pattern=p, load=load, seed=3,
+                    warmup_cycles=200, total_cycles=1700,
+                ),
+                [0.3, 0.6, 0.9],
+                label=pattern,
+            )
+            results[pattern] = series.peak_accepted()
+        assert results["complement"] > 1.4 * results["bitrev"]
+
+    def test_predictor_matches_simulation(self):
+        # is_congestion_free (subtree preservation) agrees with the
+        # measured gap on a 4-ary 2-tree
+        from repro.topology.tree import KAryNTree
+        from repro.traffic.address import bit_reverse
+
+        topo = KAryNTree(4, 2)
+        comp = [bit_complement(s, 4) for s in range(16)]
+        rev = [bit_reverse(s, 4) for s in range(16)]
+        assert topo.is_congestion_free(comp)
+        assert not topo.is_congestion_free(rev)
+
+
+class TestCongestionFreeScaling:
+    """§8.1: complement results "are expected to scale with the number of
+    nodes with an accepted bandwidth that approximates the network
+    capacity", and latency "can be deterministically estimated with tight
+    upper bounds"."""
+
+    @pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2), (2, 4)])
+    def test_near_capacity_at_any_size(self, k, n):
+        res = simulate(
+            tree_config(
+                k=k, n=n, vcs=1, pattern="complement", load=0.85,
+                seed=5, warmup_cycles=300, total_cycles=2300,
+            )
+        )
+        assert res.accepted_fraction > 0.7
+
+    def test_latency_tightly_bounded_by_zero_load_model(self):
+        from repro.metrics.analytic import zero_load_latency
+        from repro.traffic.address import bit_complement
+
+        k, n = 4, 2
+        cfg = tree_config(
+            k=k, n=n, vcs=1, pattern="complement", load=0.85,
+            seed=5, warmup_cycles=300, total_cycles=2300,
+        )
+        res = simulate(cfg)
+        # complement on a k-ary n-tree: every pair meets at the roots
+        channels = 2 * n
+        bound = zero_load_latency(channels, cfg.packet_flits)
+        assert res.avg_latency_cycles >= bound
+        assert res.avg_latency_cycles <= 1.2 * bound  # tight even at 85% load
+
+
+class TestCubeAlgorithmContrast:
+    """§9 at reduced scale: adaptivity helps uniform, hurts complement."""
+
+    def test_uniform_duato_beats_dor(self):
+        peaks = {}
+        for algorithm in ("dor", "duato"):
+            series = run_sweep(
+                lambda load, a=algorithm: cube_config(
+                    k=8, n=2, algorithm=a, load=load, seed=3,
+                    warmup_cycles=200, total_cycles=1500,
+                ),
+                [0.4, 0.7, 1.0],
+                label=algorithm,
+            )
+            peaks[algorithm] = series.peak_accepted()
+        assert peaks["duato"] > peaks["dor"]
+
+    def test_complement_dor_beats_duato(self):
+        peaks = {}
+        for algorithm in ("dor", "duato"):
+            series = run_sweep(
+                lambda load, a=algorithm: cube_config(
+                    k=8, n=2, algorithm=a, pattern="complement", load=load,
+                    seed=3, warmup_cycles=200, total_cycles=1500,
+                ),
+                [0.3, 0.5, 0.7, 1.0],
+                label=algorithm,
+            )
+            peaks[algorithm] = series.peak_accepted()
+        assert peaks["dor"] > peaks["duato"]
+
+
+class TestSaturationDefinition:
+    """§6: offered == accepted before saturation; estimator consistency."""
+
+    def test_saturation_point_bounds_unsaturated_region(self):
+        series = run_sweep(
+            lambda load: cube_config(
+                k=4, n=2, algorithm="dor", load=load, seed=3,
+                warmup_cycles=200, total_cycles=2200,
+            ),
+            [0.1, 0.2, 0.3, 0.5, 0.7, 1.0],
+            label="dor",
+        )
+        sat = saturation_point(series)
+        for p in series.points:
+            if p.offered < sat - 0.05:
+                assert p.accepted == pytest.approx(p.offered_measured, rel=0.07)
+
+
+class TestEjectionFairness:
+    def test_hotspot_node_accepts_at_link_rate(self):
+        # a 100% hotspot cannot deliver more than 1 flit/cycle to the hot
+        # node; the run must stay stable and conserve flits
+        cfg = cube_config(
+            k=4, n=2, algorithm="duato", pattern="hotspot",
+            pattern_kwargs={"hotspots": (0,), "fraction": 1.0},
+            load=1.0, seed=3, warmup_cycles=200, total_cycles=1500,
+        )
+        eng = build_engine(cfg)
+        res = eng.run()
+        eng.audit()
+        hot_rate = eng.delivered_flits_per_node[0] / res.measured_cycles
+        assert hot_rate <= 1.0 + 1e-9  # physical ejection channel limit
+        assert hot_rate > 0.5  # and the channel is well utilized

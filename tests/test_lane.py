@@ -1,0 +1,126 @@
+"""Unit tests for virtual-channel lanes (repro.router.lane)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.router.lane import EjectionLane, InputLane, LinkDirection, OutputLane
+from repro.sim.packet import Packet
+
+
+def pkt(pid=0, size=4):
+    return Packet(pid=pid, src=0, dst=1, size=size, created=0)
+
+
+class TestInputLane:
+    def test_initial_state(self):
+        lane = InputLane(switch=2, port=1, vc=0, cap=4)
+        assert lane.packet is None
+        assert lane.buffered == 0
+        assert lane.has_space()
+
+    def test_header_allocates(self):
+        lane = InputLane(0, 0, 0, cap=4)
+        p = pkt()
+        assert lane.accept_flit(p, cycle=5) is True  # header
+        assert lane.packet is p
+        assert lane.buffered == 1
+        assert lane.last_arrival == 5
+
+    def test_body_flits(self):
+        lane = InputLane(0, 0, 0, cap=4)
+        p = pkt()
+        lane.accept_flit(p, 0)
+        assert lane.accept_flit(p, 1) is False
+        assert lane.buffered == 2
+
+    def test_overflow_detected(self):
+        lane = InputLane(0, 0, 0, cap=2)
+        p = pkt()
+        lane.accept_flit(p, 0)
+        lane.accept_flit(p, 1)
+        with pytest.raises(SimulationError, match="overflow"):
+            lane.accept_flit(p, 2)
+
+    def test_interleaving_detected(self):
+        lane = InputLane(0, 0, 0, cap=4)
+        lane.accept_flit(pkt(0), 0)
+        with pytest.raises(SimulationError, match="different packet"):
+            lane.accept_flit(pkt(1), 1)
+
+    def test_release_after_tail(self):
+        lane = InputLane(0, 0, 0, cap=4)
+        p = pkt(size=2)
+        lane.accept_flit(p, 0)
+        lane.accept_flit(p, 1)
+        lane.forwarded = 2
+        lane.release()
+        assert lane.packet is None
+        assert lane.buffered == 0
+        assert lane.bound is None
+
+    def test_release_before_tail_rejected(self):
+        lane = InputLane(0, 0, 0, cap=4)
+        p = pkt(size=3)
+        lane.accept_flit(p, 0)
+        with pytest.raises(SimulationError, match="before the tail"):
+            lane.release()
+
+
+class TestOutputLane:
+    def test_free_when_unallocated_and_sink_drained(self):
+        out = OutputLane(0, 0, 0, cap=4)
+        sink = InputLane(1, 1, 0, cap=4)
+        out.sink = sink
+        assert out.is_free()
+        out.packet = pkt()
+        assert not out.is_free()
+
+    def test_not_free_while_sink_occupied(self):
+        out = OutputLane(0, 0, 0, cap=4)
+        sink = InputLane(1, 1, 0, cap=4)
+        out.sink = sink
+        sink.accept_flit(pkt(), 0)
+        assert not out.is_free()
+
+    def test_free_with_no_sink(self):
+        out = OutputLane(0, 0, 0, cap=4)
+        assert out.is_free()
+
+
+class TestEjectionLane:
+    def test_single_flit_progress(self):
+        ej = EjectionLane(node=3)
+        p = pkt(size=3)
+        assert ej.accept_flit(p, 0) is False
+        assert ej.accept_flit(p, 1) is False
+        assert ej.accept_flit(p, 2) is True
+        assert p.delivered == 2
+        assert ej.packet is None  # ready for the next packet
+
+    def test_interleaving_detected(self):
+        ej = EjectionLane(0)
+        ej.accept_flit(pkt(0, size=2), 0)
+        with pytest.raises(SimulationError, match="interleaved"):
+            ej.accept_flit(pkt(1, size=2), 1)
+
+    def test_back_to_back_packets(self):
+        ej = EjectionLane(0)
+        a, b = pkt(0, size=2), pkt(1, size=2)
+        ej.accept_flit(a, 0)
+        ej.accept_flit(a, 1)
+        ej.accept_flit(b, 2)
+        assert ej.accept_flit(b, 3) is True
+        assert b.delivered == 3
+
+
+class TestLinkDirection:
+    def test_wires_back_reference(self):
+        lanes = [OutputLane(0, 0, v, cap=4) for v in range(3)]
+        d = LinkDirection(lanes)
+        assert all(lane.direction is d for lane in lanes)
+        assert d.nbusy == 0
+        assert not d.to_node
+
+    def test_to_node_flag(self):
+        d = LinkDirection([OutputLane(0, 0, 0, cap=4)], to_node=True)
+        assert d.to_node

@@ -1,0 +1,94 @@
+"""Unit tests for the §5 normalization (repro.timing.normalization)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing.normalization import (
+    CUBE_FLIT_BYTES,
+    PACKET_BYTES,
+    TREE_FLIT_BYTES,
+    cube_scaling,
+    equal_cost_pairs,
+    tree_scaling,
+)
+
+
+class TestFlitWidths:
+    def test_paper_constants(self):
+        assert TREE_FLIT_BYTES == 2
+        assert CUBE_FLIT_BYTES == 4
+        assert PACKET_BYTES == 64
+
+    def test_packet_flits(self):
+        assert tree_scaling(4, 4).packet_flits == 32
+        assert cube_scaling(16, 2).packet_flits == 16
+
+
+class TestEqualUpperBound:
+    def test_same_peak_bandwidth(self):
+        # §5: after normalization the two networks have the same
+        # theoretical upper bound under uniform traffic
+        tree = tree_scaling(4, 4, clock_ns=1.0)
+        cube = cube_scaling(16, 2, clock_ns=1.0)
+        assert tree.peak_bits_per_ns() == pytest.approx(cube.peak_bits_per_ns())
+
+    def test_peak_value(self):
+        # 256 nodes * 1 flit/cycle * 16 bits at 1 ns clock
+        tree = tree_scaling(4, 4, clock_ns=1.0)
+        assert tree.peak_bits_per_ns() == pytest.approx(4096.0)
+
+
+class TestConversions:
+    def test_load_round_trip(self):
+        s = cube_scaling(16, 2)
+        assert s.load_to_flits_per_cycle(0.6) == pytest.approx(0.3)
+        assert s.flits_per_cycle_to_load(0.3) == pytest.approx(0.6)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(ConfigurationError):
+            tree_scaling(4, 4).load_to_flits_per_cycle(-0.1)
+
+    def test_bits_per_ns_paper_scale(self):
+        # Duato at 80% of capacity: the paper quotes ~440 bits/ns
+        s = cube_scaling(16, 2, clock_ns=7.8)
+        assert s.aggregate_bits_per_ns(0.8) == pytest.approx(420.0, rel=0.01)
+        # tree 4vc at 72%: paper quotes ~280 bits/ns
+        t = tree_scaling(4, 4, clock_ns=10.84)
+        assert t.aggregate_bits_per_ns(0.72) == pytest.approx(272.0, rel=0.01)
+
+    def test_latency_conversion(self):
+        s = cube_scaling(16, 2, clock_ns=6.34)
+        assert s.cycles_to_ns(100) == pytest.approx(634.0)
+
+    def test_ns_conversion_requires_clock(self):
+        s = cube_scaling(16, 2)  # clock_ns=0
+        with pytest.raises(ConfigurationError):
+            s.aggregate_bits_per_ns(0.5)
+        with pytest.raises(ConfigurationError):
+            s.cycles_to_ns(10)
+
+
+class TestEqualCostPairs:
+    def test_paper_pair_present(self):
+        pairs = equal_cost_pairs()
+        n256 = next(p for p in pairs if p["nodes"] == 256)
+        assert n256["tree"] == (4, 4)
+        assert (16, 2) in n256["cubes"]
+        assert (4, 4) in n256["cubes"]
+        assert (2, 8) in n256["cubes"]
+
+    def test_smallest_pair(self):
+        pairs = equal_cost_pairs()
+        assert pairs[0]["nodes"] == 4
+        assert pairs[0]["tree"] == (2, 2)
+        assert (2, 2) in pairs[0]["cubes"]
+
+    def test_tree_router_count_condition(self):
+        # every listed tree satisfies n1*k1**(n1-1) == k1**n1 (k1 == n1)
+        for entry in equal_cost_pairs():
+            k1, n1 = entry["tree"]
+            assert k1 == n1
+            assert n1 * k1 ** (n1 - 1) == entry["nodes"]
+
+    def test_bound_respected(self):
+        assert all(p["nodes"] <= 500 for p in equal_cost_pairs(max_nodes=500))

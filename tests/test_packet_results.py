@@ -1,0 +1,93 @@
+"""Unit tests for packets (repro.sim.packet) and results (repro.sim.results)."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.sim.config import SimulationConfig
+from repro.sim.packet import Packet
+from repro.sim.results import RunResult
+
+
+def cfg(**overrides):
+    base = dict(
+        network="cube",
+        k=16,
+        n=2,
+        algorithm="duato",
+        vcs=4,
+        packet_flits=16,
+        capacity_flits_per_cycle=0.5,
+        load=0.4,
+        warmup_cycles=100,
+        total_cycles=1100,
+    )
+    base.update(overrides)
+    return SimulationConfig(**base)
+
+
+class TestPacket:
+    def test_network_latency(self):
+        p = Packet(pid=1, src=0, dst=5, size=16, created=10)
+        p.injected = 12
+        p.delivered = 60
+        assert p.network_latency == 48
+
+    def test_timestamps_default_sentinel(self):
+        p = Packet(pid=1, src=0, dst=5, size=16, created=10)
+        assert p.injected == -1
+        assert p.delivered == -1
+
+    def test_repr_mentions_endpoints(self):
+        p = Packet(pid=7, src=3, dst=9, size=4, created=0)
+        assert "3->9" in repr(p)
+
+
+class TestRunResult:
+    def make(self, **overrides):
+        base = dict(
+            config=cfg(),
+            measured_cycles=1000,
+            generated_packets=800,
+            injected_packets=790,
+            delivered_packets=780,
+            delivered_flits=780 * 16,
+            latency_sum=78_000,
+            latency_max=200,
+        )
+        base.update(overrides)
+        return RunResult(**base)
+
+    def test_offered_flits_per_cycle(self):
+        r = self.make()
+        # 800 packets * 16 flits / (1000 cycles * 256 nodes)
+        assert r.offered_flits_per_cycle == pytest.approx(0.05)
+        assert r.offered_fraction == pytest.approx(0.1)
+
+    def test_accepted(self):
+        r = self.make()
+        assert r.accepted_flits_per_cycle == pytest.approx(780 * 16 / 256_000)
+        assert r.accepted_fraction == pytest.approx(780 * 16 / 256_000 / 0.5)
+
+    def test_latency(self):
+        r = self.make()
+        assert r.avg_latency_cycles == pytest.approx(100.0)
+
+    def test_latency_requires_samples(self):
+        r = self.make(delivered_packets=0)
+        with pytest.raises(AnalysisError):
+            _ = r.avg_latency_cycles
+
+    def test_saturated_flag(self):
+        fine = self.make()
+        assert not fine.saturated
+        starved = self.make(delivered_flits=400 * 16)
+        assert starved.saturated
+
+    def test_summary_handles_missing_latency(self):
+        r = self.make(delivered_packets=0)
+        assert "n/a" in r.summary()
+
+    def test_summary_contains_key_numbers(self):
+        s = self.make().summary()
+        assert "offered=0.100" in s
+        assert "delivered=780" in s

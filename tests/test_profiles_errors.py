@@ -1,0 +1,67 @@
+"""Unit tests for profiles (repro.profiles) and the error hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ConfigurationError,
+    DeadlockError,
+    ReproError,
+    RoutingError,
+    SimulationError,
+    TopologyError,
+)
+from repro.profiles import DEFAULT, FAST, FULL, get_profile
+
+
+class TestProfiles:
+    def test_full_matches_paper_windows(self):
+        assert FULL.warmup_cycles == 2000
+        assert FULL.total_cycles == 20000
+        assert FULL.measure_cycles == 18000
+
+    def test_default_shorter_than_full(self):
+        assert DEFAULT.total_cycles < FULL.total_cycles
+        assert FAST.total_cycles < DEFAULT.total_cycles
+
+    def test_lookup_by_name(self):
+        assert get_profile("fast") is FAST
+        assert get_profile("default") is DEFAULT
+        assert get_profile("full") is FULL
+
+    def test_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "fast")
+        assert get_profile() is FAST
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert get_profile() is DEFAULT
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigurationError, match="unknown profile"):
+            get_profile("turbo")
+
+    def test_explicit_name_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "full")
+        assert get_profile("fast") is FAST
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            TopologyError,
+            RoutingError,
+            ConfigurationError,
+            SimulationError,
+            DeadlockError,
+            AnalysisError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_deadlock_is_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise TopologyError("boom")

@@ -1,0 +1,136 @@
+"""Unit tests for analytic topology metrics (repro.topology.properties)."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.cube import KAryNCube
+from repro.topology.properties import (
+    capacity_flits_per_cycle,
+    cube_average_distance_uniform,
+    cube_bisection_channels,
+    cube_capacity_flits_per_cycle,
+    cube_diameter,
+    cube_num_channels,
+    exact_average_distance,
+    tree_average_distance_reversal,
+    tree_average_distance_uniform,
+    tree_capacity_flits_per_cycle,
+    tree_diameter,
+    tree_num_channels,
+)
+from repro.topology.tree import KAryNTree
+from repro.traffic.address import bit_reverse, bit_transpose
+
+
+class TestEquation5:
+    def test_paper_value(self):
+        # §8: d_m = 7.125 for the 4-ary 4-tree, close to the diameter (8)
+        assert tree_average_distance_reversal(4, 4) == pytest.approx(7.125)
+
+    def test_matches_exact_enumeration_bitrev(self):
+        # eq. 5 averages over all nodes, fixed points contributing 0
+        topo = KAryNTree(4, 4)
+        exact = exact_average_distance(
+            topo, mapping=lambda s: bit_reverse(s, 8), include_self=True
+        )
+        assert tree_average_distance_reversal(4, 4) == pytest.approx(exact)
+
+    def test_bitrev_and_transpose_same_distance_distribution(self):
+        topo = KAryNTree(4, 4)
+        rev = exact_average_distance(topo, mapping=lambda s: bit_reverse(s, 8))
+        tr = exact_average_distance(topo, mapping=lambda s: bit_transpose(s, 8))
+        assert rev == pytest.approx(tr)
+
+    def test_exact_matches_formula_small(self):
+        # 2-ary 2-tree: eq. 5 with k=2, n=2
+        topo = KAryNTree(2, 2)
+        expect = tree_average_distance_reversal(2, 2)
+        # include fixed points as distance 0, as eq. 5 does
+        total = sum(
+            topo.min_distance(s, bit_reverse(s, 2)) for s in range(4)
+        )
+        assert expect == pytest.approx(total / 4)
+
+    def test_odd_n_rejected(self):
+        with pytest.raises(TopologyError):
+            tree_average_distance_reversal(4, 3)
+
+
+class TestTreeUniform:
+    @pytest.mark.parametrize("k,n", [(2, 2), (2, 3), (4, 2), (3, 2)])
+    def test_matches_enumeration(self, k, n):
+        topo = KAryNTree(k, n)
+        assert tree_average_distance_uniform(k, n) == pytest.approx(
+            exact_average_distance(topo)
+        )
+
+    def test_include_self(self):
+        topo = KAryNTree(2, 2)
+        assert tree_average_distance_uniform(2, 2, include_self=True) == pytest.approx(
+            exact_average_distance(topo, include_self=True)
+        )
+
+    def test_diameter(self):
+        assert tree_diameter(4, 4) == 8
+
+
+class TestCubeMetrics:
+    @pytest.mark.parametrize("k,n", [(4, 2), (5, 2), (4, 3), (3, 3)])
+    def test_uniform_distance_matches_enumeration(self, k, n):
+        topo = KAryNCube(k, n)
+        assert cube_average_distance_uniform(k, n) == pytest.approx(
+            exact_average_distance(topo)
+        )
+
+    def test_paper_average_distance(self):
+        # 16-ary 2-cube: nk/4 = 8 hops including self pairs
+        assert cube_average_distance_uniform(16, 2, include_self=True) == pytest.approx(8.0)
+
+    def test_diameter(self):
+        assert cube_diameter(16, 2) == 16
+        assert cube_diameter(2, 8) == 8
+
+    def test_channel_counts(self):
+        assert cube_num_channels(16, 2) == 512
+        assert tree_num_channels(4, 4) == 1024  # twice as many (§5)
+        assert cube_num_channels(2, 3) == 12  # hypercube edges
+
+    def test_bisection(self):
+        assert cube_bisection_channels(16, 2) == 32
+        with pytest.raises(TopologyError):
+            cube_bisection_channels(5, 2)
+
+    def test_bisection_by_enumeration(self):
+        # count +dimension-0 channels crossing the cut between digit 7|8
+        # and the wraparound 15|0 of a 16-ary 2-cube
+        cube = KAryNCube(16, 2)
+        crossing = 0
+        for link in cube.switch_links():
+            if link.port_a != 0:  # dimension 0, + direction
+                continue
+            a = cube.digit(link.switch_a, 0)
+            b = cube.digit(link.switch_b, 0)
+            if (a < 8) != (b < 8):
+                crossing += 1
+        assert crossing == cube_bisection_channels(16, 2)
+
+
+class TestCapacity:
+    def test_paper_capacities(self):
+        # §5: same theoretical upper bound after normalization —
+        # 0.5 flits/cycle * 4 bytes == 1 flit/cycle * 2 bytes
+        assert cube_capacity_flits_per_cycle(16, 2) == pytest.approx(0.5)
+        assert tree_capacity_flits_per_cycle(4, 4) == 1.0
+
+    def test_dispatch(self):
+        assert capacity_flits_per_cycle(KAryNCube(16, 2)) == pytest.approx(0.5)
+        assert capacity_flits_per_cycle(KAryNTree(4, 4)) == 1.0
+
+    def test_dispatch_rejects_unknown(self):
+        with pytest.raises(TopologyError):
+            capacity_flits_per_cycle(object())
+
+    def test_empty_average_rejected(self):
+        topo = KAryNTree(2, 2)
+        with pytest.raises(TopologyError):
+            exact_average_distance(topo, mapping=lambda s: s)

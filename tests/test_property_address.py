@@ -1,0 +1,102 @@
+"""Property-based tests for address arithmetic and traffic patterns."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.traffic.address import (
+    bit_complement,
+    bit_reverse,
+    bit_transpose,
+    digits_to_node,
+    node_to_digits,
+)
+
+nbits = st.integers(min_value=1, max_value=16)
+even_nbits = st.integers(min_value=1, max_value=8).map(lambda x: 2 * x)
+
+
+@st.composite
+def node_and_bits(draw, bits=nbits):
+    b = draw(bits)
+    return draw(st.integers(min_value=0, max_value=(1 << b) - 1)), b
+
+
+@st.composite
+def node_radix_dims(draw):
+    k = draw(st.integers(min_value=2, max_value=16))
+    n = draw(st.integers(min_value=1, max_value=6))
+    return draw(st.integers(min_value=0, max_value=k**n - 1)), k, n
+
+
+class TestDigitProperties:
+    @given(node_radix_dims())
+    def test_round_trip(self, case):
+        node, k, n = case
+        digits = node_to_digits(node, k, n)
+        assert len(digits) == n
+        assert all(0 <= d < k for d in digits)
+        assert digits_to_node(digits, k) == node
+
+    @given(node_radix_dims())
+    def test_order_preserved_by_msb(self, case):
+        node, k, n = case
+        if node + 1 < k**n:
+            assert node_to_digits(node, k, n) < node_to_digits(node + 1, k, n)
+
+
+class TestBitPermutationProperties:
+    @given(node_and_bits())
+    def test_complement_involution_and_range(self, case):
+        x, b = case
+        y = bit_complement(x, b)
+        assert 0 <= y < (1 << b)
+        assert bit_complement(y, b) == x
+        assert y != x  # complement never fixes a point
+
+    @given(node_and_bits())
+    def test_reverse_involution(self, case):
+        x, b = case
+        y = bit_reverse(x, b)
+        assert 0 <= y < (1 << b)
+        assert bit_reverse(y, b) == x
+
+    @given(node_and_bits(even_nbits))
+    def test_transpose_involution(self, case):
+        x, b = case
+        y = bit_transpose(x, b)
+        assert 0 <= y < (1 << b)
+        assert bit_transpose(y, b) == x
+
+    @given(node_and_bits())
+    def test_reverse_preserves_popcount(self, case):
+        x, b = case
+        assert bin(bit_reverse(x, b)).count("1") == bin(x).count("1")
+
+    @given(node_and_bits(even_nbits))
+    def test_transpose_preserves_popcount(self, case):
+        x, b = case
+        assert bin(bit_transpose(x, b)).count("1") == bin(x).count("1")
+
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=8)
+    def test_each_is_a_permutation(self, b):
+        universe = list(range(1 << b))
+        assert sorted(bit_complement(x, b) for x in universe) == universe
+        assert sorted(bit_reverse(x, b) for x in universe) == universe
+        if b % 2 == 0:
+            assert sorted(bit_transpose(x, b) for x in universe) == universe
+
+    @given(node_and_bits(even_nbits))
+    def test_transpose_commutes_with_complement(self, case):
+        # both act bitwise-independently, so they commute
+        x, b = case
+        assert bit_transpose(bit_complement(x, b), b) == bit_complement(
+            bit_transpose(x, b), b
+        )
+
+    @given(node_and_bits())
+    def test_reverse_commutes_with_complement(self, case):
+        x, b = case
+        assert bit_reverse(bit_complement(x, b), b) == bit_complement(
+            bit_reverse(x, b), b
+        )

@@ -1,0 +1,101 @@
+"""Property-based tests for the simulation engine's global invariants.
+
+Every randomly drawn configuration must satisfy, after a full run:
+
+* the audit invariants (flit conservation, credit consistency, buffer
+  bounds, binding consistency);
+* monotone accounting (delivered <= injected <= generated-ish);
+* all delivered latencies at or above the analytic zero-load bound.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.analytic import zero_load_latency
+from repro.sim.run import build_engine, cube_config, tree_config
+
+engine_settings = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def tree_recipe(draw):
+    # power-of-two node counts: bit-permutation patterns require them
+    k, n = draw(st.sampled_from([(2, 2), (2, 3), (4, 2)]))
+    return tree_config(
+        k=k,
+        n=n,
+        vcs=draw(st.sampled_from([1, 2, 4])),
+        pattern=draw(st.sampled_from(["uniform", "complement", "neighbor"])),
+        load=draw(st.floats(min_value=0.05, max_value=1.0)),
+        seed=draw(st.integers(0, 10_000)),
+        buffer_flits=draw(st.sampled_from([2, 4, 8])),
+        warmup_cycles=100,
+        total_cycles=700,
+    )
+
+
+@st.composite
+def cube_recipe(draw):
+    # even k for a balanced bisection; power-of-two N for the patterns
+    k, n = draw(st.sampled_from([(2, 2), (4, 2), (2, 3)]))
+    return cube_config(
+        k=k,
+        n=n,
+        algorithm=draw(st.sampled_from(["dor", "duato"])),
+        vcs=4,
+        pattern=draw(st.sampled_from(["uniform", "complement", "tornado"])),
+        load=draw(st.floats(min_value=0.05, max_value=1.0)),
+        seed=draw(st.integers(0, 10_000)),
+        warmup_cycles=100,
+        total_cycles=700,
+    )
+
+
+def check_invariants(engine, result):
+    engine.audit()
+    assert engine.delivered_packets_total <= engine.injected_packets_total
+    assert result.delivered_packets <= engine.delivered_packets_total
+    assert result.in_flight_at_end == engine.in_flight_packets() >= 0
+    assert result.latency_sum >= 0
+    if result.delivered_packets:
+        # every latency >= smallest possible path latency
+        lmin = zero_load_latency(
+            1 if engine.config.network == "tree" else 3,
+            engine.config.packet_flits,
+        )
+        assert result.avg_latency_cycles >= lmin - 1
+    # accepted bandwidth can never exceed the ejection-channel limit
+    assert result.accepted_flits_per_cycle <= 1.0 + 1e-9
+
+
+class TestEngineInvariants:
+    @engine_settings
+    @given(tree_recipe())
+    def test_tree_runs_clean(self, cfg):
+        engine = build_engine(cfg)
+        result = engine.run()
+        check_invariants(engine, result)
+
+    @engine_settings
+    @given(cube_recipe())
+    def test_cube_runs_clean(self, cfg):
+        engine = build_engine(cfg)
+        result = engine.run()
+        check_invariants(engine, result)
+
+    @engine_settings
+    @given(cube_recipe(), st.integers(1, 3))
+    def test_step_count_independent_of_chunking(self, cfg, chunks):
+        # running N cycles in one go or in pieces is identical
+        a = build_engine(cfg)
+        b = build_engine(cfg)
+        a.run()
+        total = cfg.total_cycles
+        while b.cycle < total:
+            b.step()
+        assert a.delivered_flits_total == b.delivered_flits_total
+        assert a.result.latency_sum == b.result.latency_sum

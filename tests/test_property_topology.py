@@ -1,0 +1,177 @@
+"""Property-based tests for topology invariants and pure routing geometry."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.cube import KAryNCube
+from repro.topology.tree import KAryNTree
+
+# small parameter spaces keep each example cheap; hypothesis explores the
+# cross product of shapes and node pairs
+tree_shapes = st.sampled_from([(2, 2), (2, 3), (3, 2), (4, 2), (2, 4), (3, 3)])
+cube_shapes = st.sampled_from([(2, 2), (2, 3), (3, 2), (4, 2), (5, 2), (4, 3), (16, 2)])
+
+
+@st.composite
+def tree_and_pair(draw):
+    k, n = draw(tree_shapes)
+    topo = KAryNTree(k, n)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    return topo, src, dst
+
+
+@st.composite
+def cube_and_pair(draw):
+    k, n = draw(cube_shapes)
+    topo = KAryNCube(k, n)
+    src = draw(st.integers(0, topo.num_nodes - 1))
+    dst = draw(st.integers(0, topo.num_nodes - 1))
+    return topo, src, dst
+
+
+class TestTreeProperties:
+    @given(tree_and_pair())
+    def test_distance_symmetric_and_bounded(self, case):
+        topo, src, dst = case
+        d = topo.min_distance(src, dst)
+        assert d == topo.min_distance(dst, src)
+        assert 0 <= d <= 2 * topo.n
+        assert (d == 0) == (src == dst)
+        assert d % 2 == 0  # tree distances are even (up then down)
+
+    @given(tree_and_pair())
+    def test_descending_walk_reaches_destination(self, case):
+        # from any ancestor of dst, following down ports lands exactly on
+        # dst in (level+1) hops — the deterministic descending phase
+        topo, _, dst = case
+        for s in range(topo.num_switches):
+            if not topo.is_ancestor(s, dst):
+                continue
+            cur = s
+            for _ in range(topo.level_of(s)):
+                port = topo.down_port_towards(cur, dst)
+                level, a, b = topo.switch_identity(cur)
+                cur = topo.switch_id(level - 1, a + (port,), b[1:])
+                assert topo.is_ancestor(cur, dst)
+            assert topo.level_of(cur) == 0
+            assert topo.covered_range(cur)[0] + topo.down_port_towards(cur, dst) == dst
+
+    @given(tree_and_pair())
+    def test_nca_consistent_with_distance(self, case):
+        topo, src, dst = case
+        if src == dst:
+            return
+        level = topo.nca_level(src, dst)
+        assert topo.min_distance(src, dst) == 2 * level + 2
+
+    @given(tree_and_pair())
+    @settings(max_examples=30)
+    def test_ancestor_count(self, case):
+        # a node has exactly k**l ancestors at level l
+        topo, src, _ = case
+        for level in range(topo.n):
+            count = sum(
+                1
+                for s in range(topo.num_switches)
+                if topo.level_of(s) == level and topo.is_ancestor(s, src)
+            )
+            assert count == topo.k**level
+
+
+class TestCubeProperties:
+    @given(cube_and_pair())
+    def test_distance_symmetric_and_bounded(self, case):
+        topo, src, dst = case
+        d = topo.min_distance(src, dst)
+        assert d == topo.min_distance(dst, src)
+        assert 0 <= d <= topo.n * (topo.k // 2 if topo.k % 2 == 0 else topo.k // 2 + 0)
+        assert (d == 0) == (src == dst)
+
+    @given(cube_and_pair())
+    def test_offsets_compose_distance(self, case):
+        topo, src, dst = case
+        total = sum(abs(topo.dimension_offset(src, dst, d)) for d in range(topo.n))
+        assert total == topo.min_distance(src, dst)
+
+    @given(cube_and_pair())
+    def test_minimal_direction_walk_terminates(self, case):
+        # greedily walking any minimal direction reaches dst in exactly
+        # min_distance hops (minimal adaptive routing's invariant)
+        topo, src, dst = case
+        cur = src
+        steps = 0
+        import random
+
+        rng = random.Random(0)
+        while cur != dst:
+            dims = [d for d in range(topo.n) if topo.minimal_directions(cur, dst, d)]
+            dim = rng.choice(dims)
+            direction = rng.choice(topo.minimal_directions(cur, dst, dim))
+            nxt = topo.neighbor(cur, dim, direction)
+            assert topo.min_distance(nxt, dst) == topo.min_distance(cur, dst) - 1
+            cur = nxt
+            steps += 1
+            assert steps <= topo.n * topo.k  # no livelock
+        assert steps == topo.min_distance(src, dst)
+
+    @given(cube_and_pair())
+    def test_wraparound_flag_matches_walk(self, case):
+        # crosses_wraparound says whether a k-1 -> 0 (or 0 -> k-1) edge
+        # appears when walking dim-by-dim in the reported direction
+        topo, src, dst = case
+        for dim in range(topo.n):
+            for direction in topo.minimal_directions(src, dst, dim):
+                crossed = False
+                cur = topo.digit(src, dim)
+                target = topo.digit(dst, dim)
+                while cur != target:
+                    nxt = (cur + direction) % topo.k
+                    if direction == 1 and nxt == 0:
+                        crossed = True
+                    if direction == -1 and cur == 0:
+                        crossed = True
+                    cur = nxt
+                assert crossed == topo.crosses_wraparound(src, dst, dim, direction)
+
+    @given(cube_and_pair())
+    @settings(max_examples=30)
+    def test_neighbors_are_mutual(self, case):
+        topo, src, _ = case
+        for dim in range(topo.n):
+            for direction in (1, -1):
+                peer = topo.neighbor(src, dim, direction)
+                assert topo.neighbor(peer, dim, -direction) == src
+
+
+class TestCongestionFreeProperties:
+    @given(tree_shapes)
+    @settings(max_examples=10)
+    def test_digit_reversal_style_complement_always_free(self, shape):
+        # the "complement" analogue for any radix: digit-wise complement
+        k, n = shape
+        topo = KAryNTree(k, n)
+        perm = [
+            sum((k - 1 - d) * k**i for i, d in enumerate(reversed(topo_digits(s, k, n))))
+            for s in range(topo.num_nodes)
+        ]
+        assert topo.is_congestion_free(perm)
+
+    @given(tree_shapes, st.integers(0, 10_000))
+    @settings(max_examples=20)
+    def test_random_permutations_never_crash(self, shape, seed):
+        import random
+
+        k, n = shape
+        topo = KAryNTree(k, n)
+        perm = list(range(topo.num_nodes))
+        random.Random(seed).shuffle(perm)
+        assert topo.is_congestion_free(perm) in (True, False)
+
+
+def topo_digits(node, k, n):
+    out = []
+    for _ in range(n):
+        out.append(node % k)
+        node //= k
+    return list(reversed(out))

@@ -1,0 +1,235 @@
+"""Unit tests for cube routing (repro.routing.dor, repro.routing.duato)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.base import make_routing
+from repro.sim.packet import Packet
+from repro.sim.run import build_engine, cube_config
+
+
+def pkt(dst, src=0, size=8):
+    return Packet(pid=0, src=src, dst=dst, size=size, created=0)
+
+
+def inj_lane(engine, router):
+    return engine.in_lanes[router][engine.topology.ports_per_switch()][0]
+
+
+class TestDorHop:
+    def test_dimension_order(self, cube_engine_dor):
+        algo = cube_engine_dor.routing
+        topo = cube_engine_dor.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((2, 3))
+        dim, direction, _ = algo.dor_hop(src, dst)
+        assert dim == 0  # corrects dimension 0 first
+
+    def test_second_dimension_after_first_aligned(self, cube_engine_dor):
+        algo = cube_engine_dor.routing
+        topo = cube_engine_dor.topology
+        src = topo.node_at((2, 0))
+        dst = topo.node_at((2, 3))
+        dim, direction, _ = algo.dor_hop(src, dst)
+        assert dim == 1
+        assert direction == -1  # 0 -> 3 minimal via the wrap
+
+    def test_arrival_returns_none(self, cube_engine_dor):
+        assert cube_engine_dor.routing.dor_hop(5, 5) is None
+
+    def test_tie_takes_positive(self, cube_engine_dor):
+        algo = cube_engine_dor.routing
+        topo = cube_engine_dor.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((2, 0))  # offset exactly k/2
+        dim, direction, _ = algo.dor_hop(src, dst)
+        assert (dim, direction) == (0, 1)
+
+    def test_virtual_network_before_and_after_wrap(self, cube_engine_dor):
+        algo = cube_engine_dor.routing
+        topo = cube_engine_dor.topology
+        # 3 -> 0 in dimension 1 goes +1 through the wrap: VN0 until the
+        # wrap is crossed, VN1 afterwards
+        a = topo.node_at((0, 3))
+        b = topo.node_at((0, 0))
+        _, direction, vn = algo.dor_hop(a, b)
+        assert direction == 1 and vn == 0
+        # 1 -> 2: no wrap on the remaining path: VN1
+        a2 = topo.node_at((0, 1))
+        b2 = topo.node_at((0, 2))
+        _, _, vn2 = algo.dor_hop(a2, b2)
+        assert vn2 == 1
+
+
+class TestDorSelect:
+    def test_uses_only_current_virtual_network(self, cube_engine_dor):
+        eng = cube_engine_dor
+        topo = eng.topology
+        src = topo.node_at((1, 1))
+        dst = topo.node_at((1, 2))  # VN1, +direction in dim 1
+        port = topo.port_for(1, +1)
+        for _ in range(50):
+            lane = eng.routing.select(src, inj_lane(eng, src), pkt(dst))
+            assert lane.port == port
+            assert lane.vc in (2, 3)  # VN1 = upper half with 4 VCs
+
+    def test_stalls_when_network_lanes_busy(self, cube_engine_dor):
+        eng = cube_engine_dor
+        topo = eng.topology
+        src = topo.node_at((1, 1))
+        dst = topo.node_at((1, 2))
+        port = topo.port_for(1, +1)
+        blocker = pkt(9)
+        eng.out_lanes[src][port][2].packet = blocker
+        eng.out_lanes[src][port][3].packet = blocker
+        # VN0 lanes free but unusable: deterministic routing must stall
+        assert eng.routing.select(src, inj_lane(eng, src), pkt(dst)) is None
+
+    def test_ejects_at_destination(self, cube_engine_dor):
+        eng = cube_engine_dor
+        lane = eng.routing.select(6, inj_lane(eng, 6), pkt(6, src=2))
+        assert lane.port == eng.topology.ports_per_switch()
+
+    def test_requires_cube_topology(self, tree_engine):
+        algo = make_routing("dor")
+        with pytest.raises(ConfigurationError, match="KAryNCube"):
+            algo.attach(tree_engine)
+
+    def test_path_is_unique_and_minimal(self):
+        # light-load permutation run: every delivered latency must equal
+        # the zero-load value exactly (deterministic single path, k=4)
+        eng = build_engine(
+            cube_config(
+                k=4, n=2, algorithm="dor", pattern="neighbor", load=0.02,
+                warmup_cycles=0, total_cycles=2000, seed=1, collect_latencies=True,
+            )
+        )
+        res = eng.run()
+        eng.audit()
+        from repro.metrics.analytic import zero_load_latency
+
+        # node+1 is one hop except on digit carries ((x,3) -> (x+1,0)): two
+        one_hop = zero_load_latency(1 + 2, eng.config.packet_flits)
+        two_hop = zero_load_latency(2 + 2, eng.config.packet_flits)
+        assert res.delivered_packets > 10
+        assert set(res.latencies) == {one_hop, two_hop}
+
+
+class TestDuatoSelect:
+    def test_prefers_adaptive_channels(self, cube_engine_duato):
+        eng = cube_engine_duato
+        topo = eng.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((1, 2))
+        for _ in range(50):
+            lane = eng.routing.select(src, inj_lane(eng, src), pkt(dst))
+            assert lane.vc < 2  # adaptive channels first
+
+    def test_uses_both_productive_dimensions(self, cube_engine_duato):
+        eng = cube_engine_duato
+        topo = eng.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((1, 1))
+        ports = {
+            eng.routing.select(src, inj_lane(eng, src), pkt(dst)).port
+            for _ in range(100)
+        }
+        assert ports == {topo.port_for(0, 1), topo.port_for(1, 1)}
+
+    def test_half_ring_tie_uses_both_directions(self, cube_engine_duato):
+        eng = cube_engine_duato
+        topo = eng.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((0, 2))  # offset k/2 in dim 1
+        ports = {
+            eng.routing.select(src, inj_lane(eng, src), pkt(dst)).port
+            for _ in range(100)
+        }
+        assert ports == {topo.port_for(1, 1), topo.port_for(1, -1)}
+
+    def test_escape_fallback_when_adaptive_busy(self, cube_engine_duato):
+        eng = cube_engine_duato
+        topo = eng.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((1, 2))
+        blocker = pkt(15)
+        for dim, direction in ((0, 1), (1, 1), (1, -1)):
+            for lane in eng.out_lanes[src][topo.port_for(dim, direction)][:2]:
+                lane.packet = blocker
+        lane = eng.routing.select(src, inj_lane(eng, src), pkt(dst))
+        assert lane is not None
+        assert lane.vc >= 2  # escape channel
+        assert lane.port == topo.port_for(0, 1)  # escape follows DOR
+
+    def test_escape_respects_virtual_network(self, cube_engine_duato):
+        eng = cube_engine_duato
+        topo = eng.topology
+        src = topo.node_at((0, 3))
+        dst = topo.node_at((0, 0))  # + through the wrap: escape VN0 -> vc 2
+        port = topo.port_for(1, 1)
+        blocker = pkt(15)
+        eng.out_lanes[src][port][0].packet = blocker
+        eng.out_lanes[src][port][1].packet = blocker
+        lane = eng.routing.select(src, inj_lane(eng, src), pkt(dst))
+        assert (lane.port, lane.vc) == (port, 2)
+
+    def test_stall_when_everything_busy(self, cube_engine_duato):
+        eng = cube_engine_duato
+        topo = eng.topology
+        src = topo.node_at((0, 0))
+        dst = topo.node_at((0, 1))
+        port = topo.port_for(1, 1)
+        blocker = pkt(15)
+        for lane in eng.out_lanes[src][port]:
+            lane.packet = blocker
+        assert eng.routing.select(src, inj_lane(eng, src), pkt(dst)) is None
+
+    def test_ejects_at_destination(self, cube_engine_duato):
+        eng = cube_engine_duato
+        lane = eng.routing.select(3, inj_lane(eng, 3), pkt(3, src=1))
+        assert lane.port == eng.topology.ports_per_switch()
+
+    def test_vcs_validation(self):
+        with pytest.raises(ConfigurationError):
+            build_engine(cube_config(k=4, n=2, algorithm="duato", vcs=2))
+
+
+class TestDeadlockFreedom:
+    """Long saturated runs must keep moving (watchdog would raise)."""
+
+    @pytest.mark.parametrize("algorithm", ["dor", "duato"])
+    def test_saturated_cube_makes_progress(self, algorithm):
+        eng = build_engine(
+            cube_config(
+                k=4, n=2, algorithm=algorithm, load=1.0, seed=2,
+                warmup_cycles=100, total_cycles=2500, watchdog_cycles=500,
+            )
+        )
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 50
+
+    def test_saturated_tree_makes_progress(self):
+        from repro.sim.run import tree_config
+
+        eng = build_engine(
+            tree_config(
+                k=2, n=3, vcs=1, load=1.0, seed=2,
+                warmup_cycles=100, total_cycles=2500, watchdog_cycles=500,
+            )
+        )
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 50
+
+    def test_saturated_tornado_cube(self):
+        # tornado maximizes wrap-around pressure: the classic deadlock trap
+        eng = build_engine(
+            cube_config(
+                k=4, n=2, algorithm="dor", pattern="tornado", load=1.0,
+                seed=2, warmup_cycles=100, total_cycles=2500, watchdog_cycles=500,
+            )
+        )
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 50

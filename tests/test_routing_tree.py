@@ -1,0 +1,137 @@
+"""Unit tests for adaptive tree routing (repro.routing.tree_adaptive)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.routing.base import make_routing
+from repro.sim.packet import Packet
+from repro.sim.run import build_engine, cube_config, tree_config
+
+
+def pkt(dst, size=8):
+    return Packet(pid=0, src=0, dst=dst, size=size, created=0)
+
+
+def first_inlane(engine, switch):
+    for port_lanes in engine.in_lanes[switch]:
+        if port_lanes:
+            return port_lanes[0]
+    raise AssertionError("switch has no input lanes")
+
+
+class TestSelect:
+    def test_descend_at_leaf(self, tree_engine):
+        # dst 1 is under leaf switch 0: must take down port 1
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        lane = tree_engine.routing.select(leaf, first_inlane(tree_engine, leaf), pkt(1))
+        assert lane is not None
+        assert lane.port == 1
+        assert lane.switch == leaf
+
+    def test_ascend_at_leaf(self, tree_engine):
+        # dst 15 is not under leaf switch 0: must take an up port (4..7)
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        lane = tree_engine.routing.select(leaf, first_inlane(tree_engine, leaf), pkt(15))
+        assert lane is not None
+        assert lane.port in topo.up_ports()
+
+    def test_descend_at_root(self, tree_engine):
+        topo = tree_engine.topology
+        root = topo.switch_id(1, (), (0,))
+        lane = tree_engine.routing.select(root, first_inlane(tree_engine, root), pkt(14))
+        assert lane is not None
+        assert lane.port == 3  # digit p0 of 14 = 3
+
+    def test_ascending_spreads_over_up_ports(self, tree_engine):
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        inlane = first_inlane(tree_engine, leaf)
+        seen = set()
+        for _ in range(100):
+            lane = tree_engine.routing.select(leaf, inlane, pkt(15))
+            seen.add(lane.port)
+        assert seen == set(topo.up_ports())  # all 4 choices exercised
+
+    def test_least_loaded_link_preferred(self, tree_engine):
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        inlane = first_inlane(tree_engine, leaf)
+        # occupy every VC of up ports 4, 5, 6 -> only port 7 has free VCs
+        blocker = pkt(15)
+        for port in (4, 5, 6):
+            for lane in tree_engine.out_lanes[leaf][port]:
+                lane.packet = blocker
+        for _ in range(20):
+            lane = tree_engine.routing.select(leaf, inlane, pkt(15))
+            assert lane.port == 7
+
+    def test_partial_load_prefers_emptier_link(self, tree_engine):
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        inlane = first_inlane(tree_engine, leaf)
+        # ports 4..6: one of two VCs busy; port 7: both free
+        blocker = pkt(15)
+        for port in (4, 5, 6):
+            tree_engine.out_lanes[leaf][port][0].packet = blocker
+        for _ in range(20):
+            lane = tree_engine.routing.select(leaf, inlane, pkt(15))
+            assert lane.port == 7
+
+    def test_stall_when_all_busy(self, tree_engine):
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        inlane = first_inlane(tree_engine, leaf)
+        blocker = pkt(15)
+        for port in topo.up_ports():
+            for lane in tree_engine.out_lanes[leaf][port]:
+                lane.packet = blocker
+        assert tree_engine.routing.select(leaf, inlane, pkt(15)) is None
+
+    def test_busy_sink_blocks_allocation(self, tree_engine):
+        # a lane whose downstream input lane still drains is not free
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        inlane = first_inlane(tree_engine, leaf)
+        blocker = pkt(1)
+        for port in topo.up_ports():
+            for lane in tree_engine.out_lanes[leaf][port]:
+                lane.sink.packet = blocker
+        assert tree_engine.routing.select(leaf, inlane, pkt(15)) is None
+
+    def test_down_choice_uses_any_free_vc(self, tree_engine):
+        topo = tree_engine.topology
+        leaf = topo.leaf_switch(0)
+        inlane = first_inlane(tree_engine, leaf)
+        tree_engine.out_lanes[leaf][1][0].packet = pkt(1)
+        lane = tree_engine.routing.select(leaf, inlane, pkt(1))
+        assert lane.vc == 1
+
+
+class TestWiringChecks:
+    def test_requires_tree_topology(self, cube_engine_dor):
+        algo = make_routing("tree_adaptive")
+        with pytest.raises(ConfigurationError, match="KAryNTree"):
+            algo.attach(cube_engine_dor)
+
+
+class TestMinimality:
+    def test_simulated_paths_are_minimal(self):
+        # run a permutation at light load on a 2-ary 3-tree and verify
+        # every delivered packet met the analytic zero-load latency bound
+        eng = build_engine(
+            tree_config(
+                k=2, n=3, vcs=2, pattern="complement", load=0.05,
+                warmup_cycles=0, total_cycles=2500, seed=3, collect_latencies=True,
+            )
+        )
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 10
+        from repro.metrics.analytic import path_channels, zero_load_latency
+
+        topo = eng.topology
+        # complement of any src is at maximal distance in this tree
+        lmin = zero_load_latency(path_channels(topo, 0, 7), eng.config.packet_flits)
+        assert all(lat >= lmin for lat in res.latencies)

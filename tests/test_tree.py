@@ -1,0 +1,209 @@
+"""Unit tests for k-ary n-trees (repro.topology.tree)."""
+
+import networkx as nx
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.tree import KAryNTree
+
+
+@pytest.fixture(scope="module")
+def tree44():
+    return KAryNTree(4, 4)
+
+
+@pytest.fixture(scope="module")
+def tree42():
+    return KAryNTree(4, 2)
+
+
+class TestCounts:
+    def test_paper_network(self, tree44):
+        assert tree44.num_nodes == 256
+        assert tree44.num_switches == 256  # n * k**(n-1) = 4 * 64
+        assert tree44.switches_per_level == 64
+
+    def test_small(self):
+        t = KAryNTree(2, 3)
+        assert t.num_nodes == 8
+        assert t.num_switches == 3 * 4
+
+    def test_ports(self, tree44):
+        assert tree44.ports_per_switch() == 8
+        assert list(tree44.down_ports()) == [0, 1, 2, 3]
+        assert list(tree44.up_ports()) == [4, 5, 6, 7]
+
+    def test_link_count(self, tree44):
+        # (n-1) inter-level layers of k**n channels each
+        assert len(tree44.switch_links()) == 3 * 256
+        assert len(tree44.node_links()) == 256
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            KAryNTree(1, 2)
+        with pytest.raises(TopologyError):
+            KAryNTree(4, 0)
+
+
+class TestIdentity:
+    def test_round_trip(self, tree44):
+        for s in range(tree44.num_switches):
+            level, a, b = tree44.switch_identity(s)
+            assert tree44.switch_id(level, a, b) == s
+            assert len(a) == tree44.n - 1 - level
+            assert len(b) == level
+
+    def test_identity_validation(self, tree44):
+        with pytest.raises(TopologyError):
+            tree44.switch_id(0, (0, 0), (0,))  # wrong digit split
+        with pytest.raises(TopologyError):
+            tree44.switch_id(4, (), (0, 0, 0))  # level out of range
+        with pytest.raises(TopologyError):
+            tree44.switch_identity(tree44.num_switches)
+
+    def test_levels(self, tree42):
+        assert [tree42.level_of(s) for s in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+class TestCoverage:
+    def test_leaf_switch_covers_its_nodes(self, tree44):
+        for node in range(tree44.num_nodes):
+            leaf = tree44.leaf_switch(node)
+            lo, hi = tree44.covered_range(leaf)
+            assert lo <= node < hi
+            assert hi - lo == 4
+
+    def test_roots_cover_everything(self, tree44):
+        for s in range(tree44.num_switches):
+            if tree44.level_of(s) == tree44.n - 1:
+                assert tree44.covered_range(s) == (0, 256)
+
+    def test_cover_sizes_by_level(self, tree44):
+        for s in range(tree44.num_switches):
+            lo, hi = tree44.covered_range(s)
+            assert hi - lo == 4 ** (tree44.level_of(s) + 1)
+
+    def test_is_ancestor(self, tree42):
+        leaf0 = tree42.leaf_switch(0)
+        assert tree42.is_ancestor(leaf0, 0)
+        assert tree42.is_ancestor(leaf0, 3)
+        assert not tree42.is_ancestor(leaf0, 4)
+
+
+class TestWiring:
+    def test_down_up_port_pairing(self, tree44):
+        # every switch link joins a down port (0..k-1) to an up port (k..2k-1)
+        for link in tree44.switch_links():
+            assert 0 <= link.port_a < 4
+            assert 4 <= link.port_b < 8
+            assert tree44.level_of(link.switch_a) == tree44.level_of(link.switch_b) + 1
+
+    def test_each_port_wired_once(self, tree44):
+        used = set()
+        for link in tree44.switch_links():
+            for key in ((link.switch_a, link.port_a), (link.switch_b, link.port_b)):
+                assert key not in used
+                used.add(key)
+        for nl in tree44.node_links():
+            key = (nl.switch, nl.port)
+            assert key not in used
+            used.add(key)
+        # unwired ports are exactly the root up-ports (external connections)
+        total_ports = tree44.num_switches * 8
+        roots = tree44.switches_per_level
+        assert len(used) == total_ports - roots * 4
+
+    def test_child_covered_by_parent(self, tree44):
+        for link in tree44.switch_links():
+            plo, phi = tree44.covered_range(link.switch_a)
+            clo, chi = tree44.covered_range(link.switch_b)
+            assert plo <= clo and chi <= phi
+
+    def test_connected(self, tree42):
+        assert nx.is_connected(tree42.to_networkx())
+
+
+class TestRouting:
+    def test_down_port_reaches_node(self, tree42):
+        # following down_port_towards from any ancestor must land on dst
+        for node in range(tree42.num_nodes):
+            for s in range(tree42.num_switches):
+                if not tree42.is_ancestor(s, node):
+                    continue
+                port = tree42.down_port_towards(s, node)
+                level = tree42.level_of(s)
+                if level == 0:
+                    assert node == tree42.covered_range(s)[0] + port
+                else:
+                    # the child on that port still covers the node
+                    children = [
+                        link.switch_b
+                        for link in tree42.switch_links()
+                        if link.switch_a == s and link.port_a == port
+                    ]
+                    assert len(children) == 1
+                    assert tree42.is_ancestor(children[0], node)
+
+    def test_down_port_requires_ancestor(self, tree42):
+        with pytest.raises(TopologyError):
+            tree42.down_port_towards(tree42.leaf_switch(0), 15)
+
+
+class TestDistances:
+    def test_nca_level_symmetry(self, tree44):
+        for src, dst in [(0, 1), (0, 4), (0, 16), (0, 255), (100, 101)]:
+            assert tree44.nca_level(src, dst) == tree44.nca_level(dst, src)
+
+    def test_nca_examples(self, tree44):
+        assert tree44.nca_level(0, 1) == 0  # same leaf switch
+        assert tree44.nca_level(0, 4) == 1
+        assert tree44.nca_level(0, 255) == 3
+
+    def test_nca_undefined_for_self(self, tree44):
+        with pytest.raises(TopologyError):
+            tree44.nca_level(5, 5)
+
+    def test_min_distance_zero_for_self(self, tree44):
+        assert tree44.min_distance(9, 9) == 0
+
+    def test_min_distance_against_networkx(self, tree42):
+        g = tree42.to_networkx()
+        for src in range(tree42.num_nodes):
+            for dst in range(tree42.num_nodes):
+                expect = nx.shortest_path_length(g, ("node", src), ("node", dst))
+                assert tree42.min_distance(src, dst) == expect
+
+    def test_min_distance_against_networkx_larger(self):
+        t = KAryNTree(2, 3)
+        g = t.to_networkx()
+        for src in range(t.num_nodes):
+            for dst in range(t.num_nodes):
+                expect = nx.shortest_path_length(g, ("node", src), ("node", dst))
+                assert t.min_distance(src, dst) == expect
+
+
+class TestCongestionFree:
+    def test_complement_is_congestion_free(self, tree44):
+        from repro.traffic.address import bit_complement
+
+        perm = [bit_complement(s, 8) for s in range(256)]
+        assert tree44.is_congestion_free(perm)
+
+    def test_identity_is_congestion_free(self, tree44):
+        assert tree44.is_congestion_free(list(range(256)))
+
+    def test_all_to_one_subtree_is_not(self, tree42):
+        # everyone sends into leaf-switch 0's subtree: heavy descent conflicts
+        perm = {s: s % 4 for s in range(4, 16)}
+        assert not tree42.is_congestion_free(perm)
+
+    def test_dict_and_list_forms_agree(self, tree42):
+        from repro.traffic.address import bit_complement
+
+        as_list = [bit_complement(s, 4) for s in range(16)]
+        as_dict = dict(enumerate(as_list))
+        assert tree42.is_congestion_free(as_list) == tree42.is_congestion_free(as_dict)
+
+    def test_rejects_bad_nodes(self, tree42):
+        with pytest.raises(TopologyError):
+            tree42.is_congestion_free({0: 99})
