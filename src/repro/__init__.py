@@ -24,12 +24,23 @@ from .errors import (
     AnalysisError,
     ConfigurationError,
     DeadlockError,
+    PointTimeoutError,
     ReproError,
     RoutingError,
     SimulationError,
     TopologyError,
 )
-from .faults import inject_tree_uplink_faults, random_uplink_faults
+from .faults import (
+    CubeLinkFault,
+    FaultSchedule,
+    ScheduledFault,
+    TreeUplinkFault,
+    inject_cube_link_faults,
+    inject_tree_uplink_faults,
+    random_cube_link_faults,
+    random_uplink_faults,
+    validate_escape_connectivity,
+)
 from .profiles import DEFAULT, FAST, FULL, Profile, get_profile
 from .sim.config import SimulationConfig
 from .sim.engine import Engine
@@ -74,8 +85,16 @@ __all__ = [
     "KAryNTree",
     "PATTERNS",
     "make_pattern",
+    "PointTimeoutError",
+    "CubeLinkFault",
+    "FaultSchedule",
+    "ScheduledFault",
+    "TreeUplinkFault",
+    "inject_cube_link_faults",
     "inject_tree_uplink_faults",
+    "random_cube_link_faults",
     "random_uplink_faults",
+    "validate_escape_connectivity",
     "Trace",
     "run_trace",
     "__version__",

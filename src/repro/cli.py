@@ -8,6 +8,9 @@ Subcommands:
   (``--plot`` adds terminal scatter plots for fig5/fig6);
 * ``tables`` — print Tables 1 and 2 next to the paper's values;
 * ``drain`` — batch-drain one full permutation and report the makespan;
+* ``faults`` — fault-degradation experiments on either network (add
+  ``--transient`` for a mid-run fail/repair window with a throughput
+  timeline);
 * ``find-sat`` — bisect the offered load for the saturation point;
 * ``dimensions`` — the cube-dimensionality study (§11 outlook);
 * ``info`` — topology/normalization facts for a network.
@@ -25,7 +28,8 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .errors import ReproError
+from .errors import ConfigurationError, ReproError
+from .experiments.degradation import degradation_experiment, transient_experiment
 from .experiments.dimension import dimension_study
 from .experiments.drain import drain_permutation
 from .experiments.fig5 import fig5_experiment
@@ -187,6 +191,69 @@ def cmd_dimensions(args) -> int:
     return 0
 
 
+def cmd_faults(args) -> int:
+    from .experiments.report import render_table
+
+    profile = get_profile(args.profile)
+    if args.transient:
+        result, row = transient_experiment(
+            network=args.network,
+            fraction=args.fraction,
+            fail_at=args.fail_at,
+            repair_at=args.repair_at,
+            profile=profile,
+            load=args.load,
+            vcs=args.vcs,
+            seed=args.seed,
+            fault_seed=args.fault_seed,
+            k=args.k,
+            n=args.n,
+            algorithm=getattr(args, "algorithm", None),
+        )
+        print(result.summary())
+        print(f"faults: {row.faults} channel directions failed mid-run, then repaired")
+        if result.throughput_timeline:
+            peak = max(result.throughput_timeline) or 1
+            print("delivered flits per interval (fault window dips, repair recovers):")
+            for i, flits in enumerate(result.throughput_timeline):
+                bar = "#" * round(40 * flits / peak)
+                print(f"  t{i:<3d} {flits:>7d} {bar}")
+        return 0
+    try:
+        fractions = tuple(float(f) for f in args.fractions.split(",") if f.strip())
+    except ValueError:
+        raise ConfigurationError(f"bad --fractions {args.fractions!r}") from None
+    rows = degradation_experiment(
+        network=args.network,
+        fractions=fractions,
+        profile=profile,
+        load=args.load,
+        vcs=args.vcs,
+        seed=args.seed,
+        fault_seed=args.fault_seed,
+        k=args.k,
+        n=args.n,
+        algorithm=getattr(args, "algorithm", None),
+    )
+    print(
+        render_table(
+            ["fault frac", "failed chans", "accepted", "latency_cyc", "escape frac"],
+            [
+                [
+                    r.fraction,
+                    r.faults,
+                    round(r.accepted, 4),
+                    None if r.latency_cycles is None else round(r.latency_cycles, 1),
+                    None if r.escape_fraction is None else round(r.escape_fraction, 3),
+                ]
+                for r in rows
+            ],
+            title=f"{args.network} fault degradation, load {args.load:g}",
+        )
+    )
+    return 0
+
+
 def cmd_tables(args) -> int:
     print(render_delay_table(table1_rows(), "Table 1 — 16-ary 2-cube routing delays (ns)"))
     print()
@@ -250,6 +317,25 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("drain", help="batch-drain one full permutation")
     _add_common(p)
     p.set_defaults(func=cmd_drain)
+
+    p = sub.add_parser("faults", help="fault-degradation experiments (both networks)")
+    _add_common(p)
+    p.add_argument("--load", type=float, default=1.0, help="fraction of capacity")
+    p.add_argument(
+        "--fractions",
+        default="0,0.05,0.1,0.2",
+        help="comma-separated fault fractions of the channel population",
+    )
+    p.add_argument("--fault-seed", type=int, default=5, help="fault placement seed")
+    p.add_argument(
+        "--transient",
+        action="store_true",
+        help="single run with a mid-run fault window (fail at T, repair at T')",
+    )
+    p.add_argument("--fraction", type=float, default=0.1, help="fault fraction for --transient")
+    p.add_argument("--fail-at", type=int, default=None, help="fault strike cycle")
+    p.add_argument("--repair-at", type=int, default=None, help="fault repair cycle")
+    p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser("find-sat", help="bisect the saturation point")
     _add_common(p)

@@ -47,8 +47,30 @@ class DeadlockError(SimulationError):
     """The progress watchdog concluded the network is deadlocked.
 
     The routing algorithms implemented here are deadlock-free by
-    construction, so this error signals an implementation bug (or a custom
-    user routing function that is not deadlock-free).
+    construction, so this error signals an implementation bug, a custom
+    user routing function that is not deadlock-free, or an injected fault
+    that an unprotected (deterministic) algorithm cannot route around.
+
+    Attributes:
+        snapshot: a :class:`repro.sim.diagnostics.DeadlockSnapshot` of the
+            stalled network (blocked packets, held lanes, cycle counters),
+            or ``None`` when the raiser had no engine at hand.
+    """
+
+    def __init__(self, message: str, snapshot=None):
+        super().__init__(message)
+        self.snapshot = snapshot
+
+    def __reduce__(self):
+        # keep the snapshot across pickling (sweep worker processes)
+        return (type(self), (self.args[0], self.snapshot))
+
+
+class PointTimeoutError(ReproError):
+    """A sweep point exceeded its wall-clock budget and was terminated.
+
+    Raised by the resilient sweep harness; the simulation process is
+    killed, so no partial statistics survive.
     """
 
 

@@ -1,0 +1,128 @@
+"""Crash-safe on-disk cache of completed simulation points.
+
+Long sweep campaigns die for boring reasons — a power cut, an OOM kill,
+a Ctrl-C — and the in-process memo in :mod:`repro.experiments.sweep`
+dies with them.  A :class:`RunCache` persists every completed point as
+one small JSON file so a restarted campaign resumes from the last
+finished point instead of resimulating hours of work.
+
+Crash safety comes from the classic atomic write-then-rename protocol:
+each entry is fully written to a temporary file in the cache directory
+and then :func:`os.replace`-d into its final name, so a reader (or a
+restart) only ever sees complete entries — a crash mid-write leaves at
+worst an orphaned ``*.tmp`` file, never a truncated entry.  Rename
+atomicity also makes concurrent writers (parallel sweep workers sharing
+one directory) safe: last writer wins with an identical payload.
+
+Entries are keyed by the full run recipe (the same tuple as the
+in-process memo) and verified on read, so a hash collision or a stale
+file from an incompatible format version misses instead of misleading.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+
+from ..sim.config import SimulationConfig
+from ..sim.results import RunResult
+
+#: bump on breaking entry-format changes; mismatched entries are ignored
+ENTRY_FORMAT = 1
+
+#: RunResult counter fields persisted per entry (config travels separately)
+_RESULT_FIELDS = (
+    "measured_cycles",
+    "generated_packets",
+    "injected_packets",
+    "delivered_packets",
+    "delivered_flits",
+    "latency_sum",
+    "head_latency_sum",
+    "latency_max",
+    "latencies",
+    "in_flight_at_end",
+    "throughput_timeline",
+)
+
+
+def _key_json(key: tuple) -> str:
+    """Canonical JSON text of a cache key (tuples become lists)."""
+    return json.dumps(key, sort_keys=False)
+
+
+class RunCache:
+    """Directory-backed cache of :class:`RunResult` entries.
+
+    Args:
+        directory: cache location, created on first write.
+    """
+
+    def __init__(self, directory: str | pathlib.Path):
+        self.directory = pathlib.Path(directory)
+
+    def path_for(self, key: tuple) -> pathlib.Path:
+        digest = hashlib.sha256(_key_json(key).encode()).hexdigest()[:32]
+        return self.directory / f"{digest}.json"
+
+    def get(self, key: tuple) -> RunResult | None:
+        """Load the entry for ``key``, or None on miss/corruption/mismatch.
+
+        Unreadable or stale entries behave as misses: the point is simply
+        resimulated and the entry rewritten — a cache must never be able
+        to abort a campaign.
+        """
+        path = self.path_for(key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return None
+        if doc.get("format") != ENTRY_FORMAT or doc.get("key") != json.loads(_key_json(key)):
+            return None
+        try:
+            config = SimulationConfig(**doc["config"])
+            fields = {name: doc["result"][name] for name in _RESULT_FIELDS}
+        except (KeyError, TypeError):
+            return None
+        return RunResult(config=config, **fields)
+
+    def put(self, key: tuple, result: RunResult) -> pathlib.Path:
+        """Persist one entry atomically (write to temp, then rename)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        doc = {
+            "format": ENTRY_FORMAT,
+            "key": json.loads(_key_json(key)),
+            "config": dataclasses.asdict(result.config),
+            "result": {
+                name: getattr(result, name) for name in _RESULT_FIELDS
+            },
+        }
+        # per-process temp name: concurrent workers never share a temp file
+        tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def __len__(self) -> int:
+        try:
+            return sum(1 for _ in self.directory.glob("*.json"))
+        except OSError:
+            return 0
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        return removed

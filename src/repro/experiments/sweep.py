@@ -1,4 +1,4 @@
-"""Offered-load sweeps.
+"""Offered-load sweeps, with a resilient campaign harness.
 
 A sweep runs one simulation per offered-load point and assembles a
 :class:`~repro.metrics.series.LoadSweepSeries`.  Two execution modes:
@@ -12,23 +12,61 @@ A sweep runs one simulation per offered-load point and assembles a
 
 Completed points are memoized in an in-process cache keyed by the full
 run recipe, so the Figure 7 comparison reuses the raw runs of Figures 5
-and 6 instead of simulating everything twice.
+and 6 instead of simulating everything twice.  Passing a
+:class:`~repro.experiments.runcache.RunCache` additionally persists every
+completed point to disk (atomic write-then-rename), so a crashed or
+killed campaign resumes from its last finished point.
+
+Resilience knobs — a single bad point must not abort a campaign:
+
+* ``timeout`` — per-point wall-clock budget in seconds.  The point runs
+  in a watchdog subprocess that is terminated on expiry, turning a hung
+  simulation into a catchable
+  :class:`~repro.errors.PointTimeoutError`.
+* ``retries`` — failed points (deadlock, engine invariant violation,
+  timeout) are re-attempted up to this many extra times, each attempt
+  with a fresh derived seed, since transient pathologies are often
+  seed-specific.
+* ``record_failures`` — when set, a point that exhausts its attempts is
+  filed as a structured :class:`~repro.metrics.series.FailedPoint` on
+  ``series.failures`` and the sweep carries on; when unset (default) the
+  last error propagates, preserving the historical fail-fast behavior.
+
+Configuration errors always propagate immediately: they would fail every
+attempt of every point, so retrying or recording them only hides a bug.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import multiprocessing
 import os
 from collections.abc import Callable, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from functools import partial
 
-from ..errors import ConfigurationError
-from ..metrics.series import LoadSweepSeries
+from ..errors import (
+    ConfigurationError,
+    PointTimeoutError,
+    RoutingError,
+    SimulationError,
+)
+from ..metrics.series import FailedPoint, LoadSweepSeries
 from ..sim.config import SimulationConfig
 from ..sim.results import RunResult
 from ..sim.run import simulate
+from .runcache import RunCache
 
 #: in-process memo: cache key -> RunResult
 _CACHE: dict[tuple, RunResult] = {}
+
+#: per-point failures the resilient harness retries/records; anything
+#: else (ConfigurationError above all) is a campaign-level bug and raises
+_RETRYABLE = (SimulationError, RoutingError, PointTimeoutError)
+
+#: seed stride between retry attempts (a prime, to dodge accidental
+#: correlation with user seed conventions like 0/1/2/...)
+_RESEED_STRIDE = 7919
 
 
 def _cache_key(config: SimulationConfig) -> tuple:
@@ -56,14 +94,25 @@ def clear_cache() -> int:
     return n
 
 
-def run_point(config: SimulationConfig, use_cache: bool = True) -> RunResult:
-    """Simulate one point, memoizing the result."""
+def run_point(
+    config: SimulationConfig, use_cache: bool = True, cache: RunCache | None = None
+) -> RunResult:
+    """Simulate one point, memoizing the result (and persisting it when a
+    disk ``cache`` is supplied)."""
     key = _cache_key(config)
-    if use_cache and key in _CACHE:
-        return _CACHE[key]
+    if use_cache:
+        if key in _CACHE:
+            return _CACHE[key]
+        if cache is not None:
+            result = cache.get(key)
+            if result is not None:
+                _CACHE[key] = result
+                return result
     result = simulate(config)
     if use_cache:
         _CACHE[key] = result
+        if cache is not None:
+            cache.put(key, result)
     return result
 
 
@@ -75,6 +124,108 @@ def default_loads(points: int, lo: float = 0.1, hi: float = 1.0) -> list[float]:
     return [round(lo + i * step, 6) for i in range(points)]
 
 
+# -- resilient point execution --------------------------------------------------
+
+
+def _reseeded(config: SimulationConfig, attempt: int) -> SimulationConfig:
+    """Attempt 0 is the recipe as given; retries derive fresh seeds."""
+    if attempt == 0:
+        return config
+    return dataclasses.replace(config, seed=config.seed + _RESEED_STRIDE * attempt)
+
+
+def _watchdog_child(config: SimulationConfig, conn) -> None:
+    """Subprocess body: simulate and ship the result (or error) back."""
+    try:
+        payload = ("ok", simulate(config))
+    except Exception as exc:  # noqa: BLE001 - shipped to the parent verbatim
+        payload = ("err", exc)
+    try:
+        conn.send(payload)
+    except Exception:
+        # an unpicklable exotic error: degrade to its text form
+        conn.send(("err", SimulationError(f"{type(payload[1]).__name__}: {payload[1]}")))
+    finally:
+        conn.close()
+
+
+def _simulate_with_timeout(config: SimulationConfig, timeout: float) -> RunResult:
+    """Run one point under a wall-clock watchdog in a subprocess.
+
+    Raises:
+        PointTimeoutError: budget exceeded; the subprocess is terminated,
+            so even an engine stuck in an infinite loop is contained.
+    """
+    recv, send = multiprocessing.Pipe(duplex=False)
+    proc = multiprocessing.Process(target=_watchdog_child, args=(config, send))
+    proc.start()
+    send.close()
+    try:
+        if not recv.poll(timeout):
+            proc.terminate()
+            proc.join()
+            raise PointTimeoutError(
+                f"point {config.label()} exceeded its {timeout:g}s wall-clock budget"
+            )
+        try:
+            tag, payload = recv.recv()
+        except EOFError:
+            raise SimulationError(
+                f"worker for {config.label()} died without reporting a result"
+            ) from None
+    finally:
+        recv.close()
+        proc.join()
+    if tag == "ok":
+        return payload
+    raise payload
+
+
+def _point_task(
+    config: SimulationConfig, retries: int = 0, timeout: float | None = None
+):
+    """Run one point with bounded retry-with-reseed.
+
+    Returns ``("ok", result)`` or ``("fail", FailedPoint, last_error)``;
+    non-retryable errors propagate.  Top-level so process pools can pickle
+    it.
+    """
+    seeds: list[int] = []
+    last: Exception | None = None
+    for attempt in range(retries + 1):
+        cfg = _reseeded(config, attempt)
+        seeds.append(cfg.seed)
+        try:
+            if timeout is None:
+                return ("ok", simulate(cfg))
+            return ("ok", _simulate_with_timeout(cfg, timeout))
+        except _RETRYABLE as exc:
+            last = exc
+    failure = FailedPoint(
+        offered=config.load,
+        error=type(last).__name__,
+        message=str(last),
+        attempts=len(seeds),
+        seeds=tuple(seeds),
+    )
+    return ("fail", failure, last)
+
+
+def _run_parallel(pending, retries, timeout, max_workers):
+    workers = min(max_workers or os.cpu_count() or 1, len(pending))
+    task = partial(_point_task, retries=retries, timeout=timeout)
+    if timeout is None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(task, pending))
+    # with a timeout every task already manages its own watchdog
+    # subprocess, so the fan-out layer only needs threads to block on pipes
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(task, pending))
+
+
+# -- campaigns ------------------------------------------------------------------
+
+
 def run_sweep(
     config_factory: Callable[[float], SimulationConfig],
     loads: Sequence[float],
@@ -82,6 +233,10 @@ def run_sweep(
     parallel: bool = False,
     max_workers: int | None = None,
     use_cache: bool = True,
+    retries: int = 0,
+    timeout: float | None = None,
+    record_failures: bool = False,
+    cache: RunCache | None = None,
 ) -> LoadSweepSeries:
     """Run one configuration over a load grid.
 
@@ -93,9 +248,20 @@ def run_sweep(
         parallel: fan points out over a process pool.
         max_workers: pool size; defaults to ``os.cpu_count()``.
         use_cache: memoize/reuse identical points within this process.
+        retries: extra attempts (with fresh derived seeds) per failed point.
+        timeout: per-point wall-clock budget in seconds; enforced by a
+            terminating watchdog subprocess.
+        record_failures: file exhausted points as ``series.failures``
+            entries instead of raising (the resilient-campaign mode).
+        cache: optional on-disk :class:`RunCache`; completed points are
+            persisted atomically and reloaded on the next campaign.
     """
     if not loads:
         raise ConfigurationError("empty load grid")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    if timeout is not None and timeout <= 0:
+        raise ConfigurationError(f"timeout must be positive, got {timeout}")
     configs = [config_factory(load) for load in loads]
     sample = configs[0]
     series = LoadSweepSeries(
@@ -105,18 +271,48 @@ def run_sweep(
         vcs=sample.vcs,
         pattern=sample.pattern,
     )
-    if parallel and len(configs) > 1:
-        pending = [c for c in configs if _cache_key(c) not in _CACHE or not use_cache]
-        done = [c for c in configs if c not in pending]
-        workers = max_workers or os.cpu_count() or 1
-        with ProcessPoolExecutor(max_workers=min(workers, len(pending) or 1)) as pool:
-            for config, result in zip(pending, pool.map(simulate, pending)):
-                if use_cache:
-                    _CACHE[_cache_key(config)] = result
-                series.add(result)
-        for config in done:
-            series.add(_CACHE[_cache_key(config)])
+
+    # Classify by cache key — never by config equality: two configs that
+    # compare equal are the same *recipe* regardless of which factory call
+    # produced them, and key sets keep this O(n).
+    pending: list[SimulationConfig] = []
+    for config in configs:
+        key = _cache_key(config)
+        result = _CACHE.get(key) if use_cache else None
+        if result is None and use_cache and cache is not None:
+            result = cache.get(key)
+            if result is not None:
+                _CACHE[key] = result
+        if result is not None:
+            series.add(result)
+        else:
+            pending.append(config)
+    if not pending:  # fully cached: no pool, no subprocesses, no work
+        return series
+
+    def consume(config: SimulationConfig, outcome) -> None:
+        if outcome[0] == "ok":
+            result = outcome[1]
+            if use_cache:
+                _CACHE[_cache_key(result.config)] = result
+                if cache is not None:
+                    cache.put(_cache_key(result.config), result)
+            series.add(result)
+        else:
+            if not record_failures:
+                raise outcome[2]
+            series.add_failure(outcome[1])
+
+    if parallel and len(pending) > 1:
+        for config, outcome in zip(
+            pending, _run_parallel(pending, retries, timeout, max_workers)
+        ):
+            consume(config, outcome)
     else:
-        for config in configs:
-            series.add(run_point(config, use_cache=use_cache))
+        for config in pending:
+            key = _cache_key(config)
+            if use_cache and key in _CACHE:  # duplicate earlier in this grid
+                series.add(_CACHE[key])
+                continue
+            consume(config, _point_task(config, retries=retries, timeout=timeout))
     return series

@@ -1,0 +1,253 @@
+"""Fault injection for k-ary n-cubes (tori).
+
+The cube analogue of the tree's "adaptive phase masks faults" story runs
+through virtual-channel redundancy rather than port redundancy (compare
+Stergiou's multi-lane MIN study): under Duato's methodology each physical
+channel direction multiplexes ``V-2`` adaptive lanes plus two escape
+lanes, and the adaptive lanes are precisely the expendable part —
+
+* **lane-level fault (the default)** — the adaptive lanes of one channel
+  direction die; the escape lanes survive.  Duato's algorithm needs no
+  configuration to mask this: a header simply never finds a free adaptive
+  lane on the dead link and either adapts onto another minimal direction
+  or falls back to the (still connected, still cycle-free) escape
+  subnetwork.  Deadlock freedom is untouched because Duato's theorem only
+  requires the escape subnetwork, never the adaptive lanes.
+* **full-channel fault** (``full_channel=True``) — the whole direction
+  dies, escape lanes included.  Every physical direction of a torus
+  carries escape/deterministic traffic for some source–destination pair,
+  so this *always* disconnects the escape subnetwork: deterministic
+  dimension-order routing wedges forever on its fixed path and the
+  watchdog reports a :class:`~repro.errors.DeadlockError` (the
+  unprotected contrast case the tests assert).  Injection therefore
+  refuses ``full_channel`` faults unless ``validate=False`` is passed
+  explicitly.
+
+:func:`validate_escape_connectivity` is the safety check behind that
+refusal, usable standalone: it verifies no escape lane is faulted and
+that the live escape digraph remains strongly connected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, SimulationError
+from ..router.lane import OutputLane
+from ..routing.duato import DuatoAdaptiveRouting
+from ..sim.engine import Engine
+from ..sim.packet import FAULT_SENTINEL
+from ..topology.cube import KAryNCube
+
+
+@dataclass(frozen=True)
+class CubeLinkFault:
+    """One failed channel direction: node ``node``, dimension ``dim``,
+    direction ``+1``/``-1`` (normalized to ``+1`` for hypercubes, whose
+    two directions share one physical channel).
+
+    ``full_channel=False`` kills only the adaptive lanes (lane-level
+    redundancy fault); ``True`` kills the whole direction.
+    """
+
+    node: int
+    dim: int
+    direction: int = 1
+    full_channel: bool = False
+
+    def lanes(self, engine: Engine) -> list[OutputLane]:
+        """The output lanes this fault disables."""
+        port = engine.topology.port_for(self.dim, self.direction)
+        outs = engine.out_lanes[self.node][port]
+        if self.full_channel:
+            return list(outs)
+        return list(outs[: adaptive_lane_count(engine)])
+
+
+def adaptive_lane_count(engine: Engine) -> int:
+    """Adaptive lanes per channel direction of the attached algorithm.
+
+    Raises:
+        ConfigurationError: when the engine's routing has no
+            adaptive/escape split (lane-level faults are only maskable by
+            an adaptive algorithm with escape channels).
+    """
+    routing = engine.routing
+    if isinstance(routing, DuatoAdaptiveRouting):
+        return routing.n_adaptive
+    raise ConfigurationError(
+        f"lane-level cube faults need an adaptive algorithm with escape "
+        f"channels (duato); {routing.name!r} has no expendable lanes — "
+        f"use full_channel=True with validate=False for the unprotected case"
+    )
+
+
+def validate_cube_link_faults(
+    engine: Engine, faults, full_channel: bool, validate: bool
+) -> list[tuple[int, int, int]]:
+    """Validate and normalize a cube fault set before any lane is touched.
+
+    Returns the unique, sorted ``(node, dim, direction)`` list with
+    hypercube directions normalized to ``+1``.
+
+    Raises:
+        ConfigurationError: for non-cube engines, out-of-range targets,
+            or fault sets that would break the escape subnetwork while
+            ``validate`` is on.
+    """
+    topo = engine.topology
+    if not isinstance(topo, KAryNCube):
+        raise ConfigurationError("link fault injection is defined for k-ary n-cubes")
+    if full_channel and validate:
+        raise ConfigurationError(
+            "a full-channel fault always disconnects the escape subnetwork "
+            "(every torus direction carries deterministic traffic for some "
+            "pair); pass validate=False to model the unprotected contrast case"
+        )
+    if not full_channel:
+        adaptive_lane_count(engine)  # raises unless the algorithm has escapes
+    unique: set[tuple[int, int, int]] = set()
+    for node, dim, direction in faults:
+        if not 0 <= node < topo.num_nodes:
+            raise ConfigurationError(f"node {node} out of range [0, {topo.num_nodes})")
+        if not 0 <= dim < topo.n:
+            raise ConfigurationError(f"dimension {dim} out of range [0, {topo.n})")
+        if direction not in (1, -1):
+            raise ConfigurationError(f"direction must be +1 or -1, got {direction}")
+        if topo.k == 2:
+            direction = 1  # one physical channel per dimension in a hypercube
+        unique.add((node, dim, direction))
+    return sorted(unique)
+
+
+def inject_cube_link_faults(
+    engine: Engine,
+    faults,
+    *,
+    full_channel: bool = False,
+    validate: bool = True,
+) -> int:
+    """Disable channel directions listed as ``(node, dim, direction)``.
+
+    By default only the adaptive lanes of each direction die (the
+    escape-protected lane-level fault class; see module docstring) and
+    the escape subnetwork is re-verified after injection.  Returns the
+    number of distinct channel directions disabled.
+
+    Raises:
+        ConfigurationError: for invalid targets, or unsafe fault classes
+            without an explicit ``validate=False``.
+        SimulationError: when a targeted lane is already carrying traffic
+            (inject faults before running; mid-run faults go through
+            :class:`~repro.faults.schedule.FaultSchedule`).
+    """
+    unique = validate_cube_link_faults(engine, faults, full_channel, validate)
+    topo = engine.topology
+    keep = 0 if full_channel else adaptive_lane_count(engine)
+    disabled = 0
+    for node, dim, direction in unique:
+        port = topo.port_for(dim, direction)
+        outs = engine.out_lanes[node][port]
+        targets = outs if full_channel else outs[:keep]
+        for lane in targets:
+            if lane.packet is not None and lane.packet is not FAULT_SENTINEL:
+                raise SimulationError(
+                    f"lane {lane!r} is carrying traffic; inject faults before running"
+                )
+            lane.packet = FAULT_SENTINEL
+        disabled += 1
+    if validate:
+        validate_escape_connectivity(engine)
+    return disabled
+
+
+def validate_escape_connectivity(engine: Engine) -> None:
+    """Verify the escape subnetwork survived fault injection.
+
+    Checks two properties of the attached cube engine:
+
+    1. no escape lane (Duato: the last two lanes per direction; a
+       deterministic algorithm owns every lane) is faulted;
+    2. the digraph of channel directions with fully-live escape lanes is
+       strongly connected over the routers.
+
+    Raises:
+        ConfigurationError: when either property is violated, naming the
+            first offending lanes.
+    """
+    topo = engine.topology
+    if not isinstance(topo, KAryNCube):
+        raise ConfigurationError("escape connectivity is defined for k-ary n-cubes")
+    routing = engine.routing
+    if isinstance(routing, DuatoAdaptiveRouting):
+        escape = range(routing.escape_base, engine.config.vcs)
+    else:
+        escape = range(engine.config.vcs)
+    dead: list[OutputLane] = []
+    succ: list[list[int]] = [[] for _ in range(topo.num_switches)]
+    pred: list[list[int]] = [[] for _ in range(topo.num_switches)]
+    for d in engine.dirs:
+        if d.to_node or not d.lanes:
+            continue
+        lanes = d.lanes
+        dead_here = [lanes[i] for i in escape if lanes[i].packet is FAULT_SENTINEL]
+        if dead_here:
+            dead.extend(dead_here)
+            continue
+        sink_switch = lanes[0].sink.switch
+        succ[d.switch].append(sink_switch)
+        pred[sink_switch].append(d.switch)
+    if dead:
+        shown = ", ".join(repr(lane) for lane in dead[:4])
+        raise ConfigurationError(
+            f"{len(dead)} escape lane(s) faulted ({shown}{', ...' if len(dead) > 4 else ''}); "
+            "the escape subnetwork must stay fully live"
+        )
+    for adjacency in (succ, pred):
+        seen = [False] * topo.num_switches
+        seen[0] = True
+        frontier = [0]
+        while frontier:
+            s = frontier.pop()
+            for nxt in adjacency[s]:
+                if not seen[nxt]:
+                    seen[nxt] = True
+                    frontier.append(nxt)
+        if not all(seen):
+            missing = seen.index(False)
+            raise ConfigurationError(
+                f"escape subnetwork is not strongly connected: switch {missing} "
+                f"unreachable {'from' if adjacency is succ else 'towards'} switch 0"
+            )
+
+
+def random_cube_link_faults(
+    topo: KAryNCube, count: int, seed: int = 0
+) -> list[tuple[int, int, int]]:
+    """Draw ``count`` distinct channel-direction faults, uniformly.
+
+    Lane-level faults need no placement constraint — the escape lanes
+    survive on every direction by construction — so this draws from the
+    full direction population: ``N·2n`` directions for ``k > 2``, ``N·n``
+    for the hypercube (whose ± directions share one channel).
+
+    Raises:
+        ConfigurationError: when ``count`` exceeds the direction population.
+    """
+    if not isinstance(topo, KAryNCube):
+        raise ConfigurationError("expected a KAryNCube")
+    directions = (1,) if topo.k == 2 else (1, -1)
+    candidates = [
+        (node, dim, direction)
+        for node in range(topo.num_nodes)
+        for dim in range(topo.n)
+        for direction in directions
+    ]
+    if not 0 <= count <= len(candidates):
+        raise ConfigurationError(
+            f"count {count} outside [0, {len(candidates)}] channel directions"
+        )
+    rng = random.Random(seed)
+    rng.shuffle(candidates)
+    return candidates[:count]

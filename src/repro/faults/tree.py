@@ -6,11 +6,11 @@ ascending channel is simply never chosen and the network keeps working at
 slightly reduced bandwidth.  This module injects exactly that fault
 class:
 
-* **what is modeled** — permanent faults of individual *ascending*
-  channel directions (switch up-port → parent).  The opposite
-  (descending) direction of the physical channel is kept alive: killing
-  a descending channel disconnects destinations on any up*/down* tree,
-  which is a repair problem rather than a routing one.
+* **what is modeled** — faults of individual *ascending* channel
+  directions (switch up-port → parent).  The opposite (descending)
+  direction of the physical channel is kept alive: killing a descending
+  channel disconnects destinations on any up*/down* tree, which is a
+  repair problem rather than a routing one.
 * **safety argument** — up*/down* routing remains minimal, connected and
   deadlock-free under ascending faults as long as every non-root switch
   retains at least one live up port (any reachable ancestor set still
@@ -23,39 +23,48 @@ class:
   expected contrast.
 
 Faults are injected into a built engine before (or between) runs by
-allocating the faulty lanes to a sentinel packet, making them permanently
-busy for routing without touching the hot paths.
+allocating the faulty lanes to the :data:`~repro.sim.packet.FAULT_SENTINEL`
+packet, making them permanently busy for routing without touching the hot
+paths.  For faults that strike or repair *mid-run*, wrap the same
+``(switch, up_port)`` targets in a
+:class:`~repro.faults.schedule.FaultSchedule` instead.
 """
 
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 
-from .errors import ConfigurationError, SimulationError
-from .sim.engine import Engine
-from .sim.packet import Packet
-from .topology.tree import KAryNTree
-
-#: sentinel marking lanes dead; never moves, never delivered
-_FAULT_PACKET = Packet(pid=-1, src=0, dst=0, size=1 << 30, created=-1)
+from ..errors import ConfigurationError, SimulationError
+from ..sim.engine import Engine
+from ..sim.packet import FAULT_SENTINEL
+from ..topology.tree import KAryNTree
 
 
-def inject_tree_uplink_faults(
-    engine: Engine, faults: list[tuple[int, int]] | tuple[tuple[int, int], ...]
-) -> int:
-    """Disable the ascending directions listed as ``(switch, up_port)``.
+@dataclass(frozen=True)
+class TreeUplinkFault:
+    """One failed ascending channel direction: ``(switch, up_port)``."""
 
-    Returns the number of channel directions disabled (duplicates are
-    collapsed).
+    switch: int
+    port: int
+
+    def lanes(self, engine: Engine):
+        """The output lanes this fault disables."""
+        return list(engine.out_lanes[self.switch][self.port])
+
+
+def validate_tree_uplink_faults(
+    topo: KAryNTree, faults
+) -> list[tuple[int, int]]:
+    """Validate a fault set against the tree safety invariants.
+
+    Returns the normalized (unique, sorted) ``(switch, up_port)`` list.
 
     Raises:
-        ConfigurationError: for non-tree engines, non-up ports, root
+        ConfigurationError: for non-tree topologies, non-up ports, root
             "external" ports, or fault sets that leave some switch with
             no live up port.
-        SimulationError: when a targeted lane is already carrying traffic
-            (inject faults before running).
     """
-    topo = engine.topology
     if not isinstance(topo, KAryNTree):
         raise ConfigurationError("up-link fault injection is defined for k-ary n-trees")
     up_ports = set(topo.up_ports())
@@ -77,13 +86,34 @@ def inject_tree_uplink_faults(
                 f"switch {switch} would lose all {topo.k} up ports; "
                 "the tree must keep at least one live ascent per switch"
             )
+    return unique
+
+
+def inject_tree_uplink_faults(
+    engine: Engine, faults: list[tuple[int, int]] | tuple[tuple[int, int], ...]
+) -> int:
+    """Disable the ascending directions listed as ``(switch, up_port)``.
+
+    Returns the number of channel directions disabled (duplicates are
+    collapsed).
+
+    Raises:
+        ConfigurationError: for non-tree engines, non-up ports, root
+            "external" ports, or fault sets that leave some switch with
+            no live up port.
+        SimulationError: when a targeted lane is already carrying traffic
+            (inject faults before running; mid-run faults go through
+            :class:`~repro.faults.schedule.FaultSchedule`).
+    """
+    topo = engine.topology
+    unique = validate_tree_uplink_faults(topo, faults)
     for switch, port in unique:
         for lane in engine.out_lanes[switch][port]:
-            if lane.packet is not None and lane.packet is not _FAULT_PACKET:
+            if lane.packet is not None and lane.packet is not FAULT_SENTINEL:
                 raise SimulationError(
                     f"lane {lane!r} is carrying traffic; inject faults before running"
                 )
-            lane.packet = _FAULT_PACKET
+            lane.packet = FAULT_SENTINEL
     return len(unique)
 
 

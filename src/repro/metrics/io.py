@@ -21,7 +21,7 @@ import pathlib
 
 from ..errors import AnalysisError
 from .cnf import CNFResult
-from .series import LoadPoint, LoadSweepSeries
+from .series import FailedPoint, LoadPoint, LoadSweepSeries
 
 #: bump on breaking format changes
 FORMAT_VERSION = 1
@@ -45,6 +45,16 @@ def series_to_dict(series: LoadSweepSeries) -> dict:
             }
             for p in series.points
         ],
+        "failures": [
+            {
+                "offered": f.offered,
+                "error": f.error,
+                "message": f.message,
+                "attempts": f.attempts,
+                "seeds": list(f.seeds),
+            }
+            for f in series.failures
+        ],
     }
 
 
@@ -67,6 +77,17 @@ def series_from_dict(doc: dict) -> LoadSweepSeries:
                 delivered_packets=p["delivered_packets"],
             )
             for p in doc["points"]
+        ]
+        # "failures" is absent from pre-resilience archives; default empty
+        series.failures = [
+            FailedPoint(
+                offered=f["offered"],
+                error=f["error"],
+                message=f["message"],
+                attempts=f["attempts"],
+                seeds=tuple(f["seeds"]),
+            )
+            for f in doc.get("failures", [])
         ]
     except (KeyError, TypeError) as exc:
         raise AnalysisError(f"malformed series document: {exc}") from exc

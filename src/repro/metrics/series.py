@@ -72,6 +72,31 @@ class LoadPoint:
         )
 
 
+@dataclass(frozen=True)
+class FailedPoint:
+    """One sweep point that produced no result, recorded instead of aborting.
+
+    The resilient sweep harness catches per-point failures (deadlocks,
+    engine invariant violations, wall-clock timeouts), retries with fresh
+    seeds up to its retry budget, and — when every attempt fails — files
+    one of these so the campaign's remaining points still complete.
+
+    Attributes:
+        offered: the point's nominal offered load (its sweep x-position).
+        error: exception class name, e.g. ``"DeadlockError"``.
+        message: the final attempt's error message (includes the deadlock
+            diagnostic snapshot text when the watchdog fired).
+        attempts: how many simulation attempts were made.
+        seeds: the seed used by each attempt, in order.
+    """
+
+    offered: float
+    error: str
+    message: str
+    attempts: int
+    seeds: tuple[int, ...]
+
+
 @dataclass
 class LoadSweepSeries:
     """All sweep points of one configuration, sorted by offered load.
@@ -81,6 +106,7 @@ class LoadSweepSeries:
         network: ``"tree"`` or ``"cube"``.
         algorithm / vcs / pattern: configuration echo for reports.
         points: the sweep data.
+        failures: points that produced no result (resilient sweeps only).
     """
 
     label: str
@@ -89,12 +115,23 @@ class LoadSweepSeries:
     vcs: int
     pattern: str
     points: list[LoadPoint] = field(default_factory=list)
+    failures: list[FailedPoint] = field(default_factory=list)
 
     def add(self, result: RunResult) -> LoadPoint:
         point = LoadPoint.from_result(result)
         self.points.append(point)
         self.points.sort(key=lambda p: p.offered)
         return point
+
+    def add_failure(self, failure: FailedPoint) -> FailedPoint:
+        self.failures.append(failure)
+        self.failures.sort(key=lambda f: f.offered)
+        return failure
+
+    @property
+    def complete(self) -> bool:
+        """True when every attempted point produced a result."""
+        return not self.failures
 
     def offered(self) -> list[float]:
         return [p.offered for p in self.points]

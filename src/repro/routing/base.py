@@ -29,6 +29,10 @@ class RoutingAlgorithm(ABC):
 
     #: registry identifier
     name: str = "abstract"
+    #: network family the algorithm runs on: "tree" or "cube".  Consulted
+    #: by SimulationConfig validation, so registering a subclass with this
+    #: set makes the name usable in configs (and therefore in sweeps).
+    network: str | None = None
 
     def __init__(self) -> None:
         self.engine = None
@@ -66,8 +70,18 @@ ROUTING_ALGORITHMS: dict[str, type[RoutingAlgorithm]] = {}
 
 
 def register(cls: type[RoutingAlgorithm]) -> type[RoutingAlgorithm]:
-    """Class decorator adding an algorithm to the registry."""
+    """Class decorator adding an algorithm to the registry.
+
+    Also announces the algorithm's network family to the config layer, so
+    a registered name validates in :class:`~repro.sim.config.SimulationConfig`
+    — this is how custom (including deliberately unsafe, for fault tests)
+    algorithms become sweepable.
+    """
     ROUTING_ALGORITHMS[cls.name] = cls
+    if cls.network in ("tree", "cube"):
+        from ..sim.config import register_algorithm_family
+
+        register_algorithm_family(cls.name, cls.network)
     return cls
 
 

@@ -31,6 +31,8 @@ from .base import RoutingAlgorithm, register
 class _CubeRoutingBase(RoutingAlgorithm):
     """Shared cube helpers: coordinate math and the ejection channel."""
 
+    network = "cube"
+
     def attach(self, engine) -> None:
         super().attach(engine)
         topo = engine.topology

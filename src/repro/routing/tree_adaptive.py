@@ -32,6 +32,7 @@ class TreeAdaptiveRouting(RoutingAlgorithm):
     """Adaptive ascend / deterministic descend with least-loaded up links."""
 
     name = "tree_adaptive"
+    network = "tree"
 
     def attach(self, engine) -> None:
         super().attach(engine)

@@ -42,6 +42,7 @@ class TreeDeterministicRouting(RoutingAlgorithm):
     """Source-digit ascent, digit-steered descent."""
 
     name = "tree_deterministic"
+    network = "tree"
 
     def attach(self, engine) -> None:
         super().attach(engine)

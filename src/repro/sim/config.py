@@ -13,9 +13,32 @@ from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
 
-#: algorithms usable on each network family
+#: built-in algorithms usable on each network family
 TREE_ALGORITHMS = ("tree_adaptive", "tree_deterministic")
 CUBE_ALGORITHMS = ("dor", "duato")
+
+#: extension registry: algorithm name -> network family ("tree"/"cube").
+#: Populated by :func:`repro.routing.base.register` for algorithm classes
+#: that declare a ``network`` attribute — custom algorithms (e.g. the
+#: deliberately unsafe routings used by the fault-tolerance tests) become
+#: valid config values without editing the built-in tuples.
+_EXTRA_ALGORITHMS: dict[str, str] = {}
+
+
+def register_algorithm_family(name: str, network: str) -> None:
+    """Declare a registered routing algorithm's network family."""
+    if network not in ("tree", "cube"):
+        raise ConfigurationError(f"unknown network family {network!r}")
+    _EXTRA_ALGORITHMS[name] = network
+
+
+def algorithms_for(network: str) -> tuple[str, ...]:
+    """All algorithm names valid on a network family (built-in + extras)."""
+    builtin = TREE_ALGORITHMS if network == "tree" else CUBE_ALGORITHMS
+    extras = tuple(
+        sorted(n for n, fam in _EXTRA_ALGORITHMS.items() if fam == network and n not in builtin)
+    )
+    return builtin + extras
 
 
 @dataclass
@@ -70,7 +93,7 @@ class SimulationConfig:
     def __post_init__(self) -> None:
         if self.network not in ("tree", "cube"):
             raise ConfigurationError(f"unknown network family {self.network!r}")
-        allowed = TREE_ALGORITHMS if self.network == "tree" else CUBE_ALGORITHMS
+        allowed = algorithms_for(self.network)
         if self.algorithm not in allowed:
             raise ConfigurationError(
                 f"algorithm {self.algorithm!r} not usable on {self.network!r}; "

@@ -1,0 +1,153 @@
+"""Deadlock diagnostics.
+
+When the engine's progress watchdog fires, a bare "no flit movement"
+message is nearly useless for debugging a routing algorithm or a fault
+scenario: the interesting question is *which* packets are stuck *where*,
+and what resources they hold.  :func:`capture_snapshot` freezes exactly
+that — the blocked packets with their positions and progress counters,
+the held output lanes, the pending unrouted headers and the faulted lane
+population — into a plain-data :class:`DeadlockSnapshot` that travels on
+:class:`~repro.errors.DeadlockError` (including across the process
+boundary of a parallel sweep, so a worker's deadlock arrives in the
+parent fully diagnosable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .packet import FAULT_SENTINEL
+
+
+@dataclass(frozen=True)
+class BlockedPacket:
+    """One in-flight packet observed at watchdog time.
+
+    Attributes:
+        pid / src / dst / size: packet identity.
+        switch / port / vc: input lane currently holding the header-most
+            buffered flits of the packet (one entry per allocated input
+            lane, so a long worm spanning several switches contributes
+            several entries).
+        received / forwarded: the lane's progress counters.
+        routed: whether the lane already holds a crossbar binding (False
+            means the header is still waiting for the routing phase to
+            find it a free output lane).
+    """
+
+    pid: int
+    src: int
+    dst: int
+    size: int
+    switch: int
+    port: int
+    vc: int
+    received: int
+    forwarded: int
+    routed: bool
+
+
+@dataclass(frozen=True)
+class DeadlockSnapshot:
+    """Plain-data state of a stalled network, attached to DeadlockError.
+
+    Attributes:
+        cycle: cycle at which the watchdog fired.
+        last_progress_cycle: last cycle any flit moved.
+        in_flight: packets injected but not fully delivered.
+        blocked: per-input-lane observations (capped at ``limit`` entries
+            at capture time; ``truncated`` tells whether the cap bit).
+        truncated: True when more blocked lanes existed than reported.
+        held_lanes: output lanes allocated to real packets.
+        pending_headers: input lanes queued for routing with no binding.
+        faulted_lanes: output lanes disabled by fault injection.
+    """
+
+    cycle: int
+    last_progress_cycle: int
+    in_flight: int
+    blocked: tuple[BlockedPacket, ...]
+    truncated: bool
+    held_lanes: int
+    pending_headers: int
+    faulted_lanes: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable rendering for logs and CLI output."""
+        lines = [
+            f"deadlock at cycle {self.cycle} "
+            f"(last progress at cycle {self.last_progress_cycle})",
+            f"  in flight: {self.in_flight} packets; "
+            f"held output lanes: {self.held_lanes}; "
+            f"unrouted headers: {self.pending_headers}; "
+            f"faulted lanes: {self.faulted_lanes}",
+        ]
+        for b in self.blocked:
+            state = "bound" if b.routed else "UNROUTED"
+            lines.append(
+                f"  pkt {b.pid} {b.src}->{b.dst} ({b.size} flits) at "
+                f"switch {b.switch} port {b.port} vc {b.vc}: "
+                f"received {b.received}, forwarded {b.forwarded}, {state}"
+            )
+        if self.truncated:
+            lines.append("  ... (more blocked lanes omitted)")
+        return "\n".join(lines)
+
+
+def capture_snapshot(engine, limit: int = 16) -> DeadlockSnapshot:
+    """Freeze the blocked state of ``engine`` into a DeadlockSnapshot.
+
+    Args:
+        engine: a live :class:`~repro.sim.engine.Engine`.
+        limit: cap on the number of per-lane ``blocked`` entries kept
+            (the counters are always exact; only the listing is capped).
+    """
+    blocked: list[BlockedPacket] = []
+    blocked_total = 0
+    for s in range(engine.topology.num_switches):
+        for port_lanes in engine.in_lanes[s]:
+            for lane in port_lanes:
+                pkt = lane.packet
+                if pkt is None or pkt is FAULT_SENTINEL:
+                    continue
+                blocked_total += 1
+                if len(blocked) < limit:
+                    blocked.append(
+                        BlockedPacket(
+                            pid=pkt.pid,
+                            src=pkt.src,
+                            dst=pkt.dst,
+                            size=pkt.size,
+                            switch=lane.switch,
+                            port=lane.port,
+                            vc=lane.vc,
+                            received=lane.received,
+                            forwarded=lane.forwarded,
+                            routed=lane.bound is not None,
+                        )
+                    )
+    held = 0
+    faulted = 0
+    for s in range(engine.topology.num_switches):
+        for port_lanes in engine.out_lanes[s]:
+            for lane in port_lanes:
+                if lane.packet is FAULT_SENTINEL:
+                    faulted += 1
+                elif lane.packet is not None:
+                    held += 1
+    pending_headers = sum(
+        1
+        for s in engine.route_queue
+        for lane in engine.pending[s]
+        if lane.bound is None
+    )
+    return DeadlockSnapshot(
+        cycle=engine.cycle,
+        last_progress_cycle=engine._last_progress,
+        in_flight=engine.in_flight_packets(),
+        blocked=tuple(blocked),
+        truncated=blocked_total > len(blocked),
+        held_lanes=held,
+        pending_headers=pending_headers,
+        faulted_lanes=faulted,
+    )

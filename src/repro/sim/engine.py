@@ -36,6 +36,7 @@ from ..topology.base import Topology
 from ..topology.cube import KAryNCube
 from ..traffic.generator import BernoulliInjector
 from .config import SimulationConfig
+from .diagnostics import capture_snapshot
 from .packet import Packet
 from .results import RunResult
 
@@ -109,6 +110,12 @@ class Engine:
         self._wire_switch_links(cap)
         self._wire_node_links(cap, is_direct, vcs)
         self._prune_unwired()
+
+        # cycle hooks (fault schedules, instrumentation): cycle -> callbacks.
+        # _next_hook_cycle caches the earliest key so the hot loop pays a
+        # single int comparison per cycle; -1 means no hooks armed.
+        self._cycle_hooks: dict[int, list] = {}
+        self._next_hook_cycle = -1
 
         # routing bookkeeping
         self.pending: list[list[InputLane]] = [[] for _ in range(num_switches)]
@@ -214,11 +221,41 @@ class Engine:
         if node not in self.active_nodes:
             self.active_nodes.append(node)
 
+    # -- cycle hooks ---------------------------------------------------------------
+
+    def add_cycle_hook(self, cycle: int, fn) -> None:
+        """Schedule ``fn(engine)`` to run at the start of cycle ``cycle``.
+
+        Hooks fire before the link phase, so state changed by a hook (a
+        fault struck or repaired, say) is visible to every phase of that
+        same cycle.  Hooks may re-arm themselves or add hooks for the
+        same or later cycles while running.
+
+        Raises:
+            ConfigurationError: when ``cycle`` lies in the past.
+        """
+        if cycle < self.cycle:
+            raise ConfigurationError(
+                f"cannot hook cycle {cycle}; the engine is already at {self.cycle}"
+            )
+        self._cycle_hooks.setdefault(cycle, []).append(fn)
+        if self._next_hook_cycle < 0 or cycle < self._next_hook_cycle:
+            self._next_hook_cycle = cycle
+
+    def _run_cycle_hooks(self, t: int) -> None:
+        # hooks may add same-cycle hooks while running, hence the loop
+        while self._next_hook_cycle == t:
+            for fn in self._cycle_hooks.pop(t):
+                fn(self)
+            self._next_hook_cycle = min(self._cycle_hooks) if self._cycle_hooks else -1
+
     # -- one simulation cycle ----------------------------------------------------
 
     def step(self) -> bool:
         """Advance one cycle; returns True when any flit moved (progress)."""
         t = self.cycle
+        if t == self._next_hook_cycle:
+            self._run_cycle_hooks(t)
         warm = t >= self.config.warmup_cycles
         res = self.result
         progress = False
@@ -451,7 +488,7 @@ class Engine:
                 and self.in_flight_packets() > 0
                 and self.cycle - self._last_progress >= watchdog
             ):
-                raise DeadlockError(
+                raise self._deadlock(
                     f"no flit movement for {watchdog} cycles at cycle {self.cycle} "
                     f"with {self.in_flight_packets()} packets in flight "
                     f"({self.config.label()})"
@@ -482,7 +519,7 @@ class Engine:
             ):
                 return self.cycle
             if self.cycle >= max_cycles:
-                raise DeadlockError(
+                raise self._deadlock(
                     f"drain did not complete within {max_cycles} cycles "
                     f"({self.in_flight_packets()} packets in flight)"
                 )
@@ -493,10 +530,15 @@ class Engine:
                 and self.in_flight_packets() > 0
                 and self.cycle - self._last_progress >= watchdog
             ):
-                raise DeadlockError(
+                raise self._deadlock(
                     f"no flit movement for {watchdog} cycles at cycle {self.cycle} "
                     f"during drain ({self.config.label()})"
                 )
+
+    def _deadlock(self, message: str) -> DeadlockError:
+        """Build a DeadlockError carrying a diagnostic network snapshot."""
+        snapshot = capture_snapshot(self)
+        return DeadlockError(f"{message}\n{snapshot.describe()}", snapshot=snapshot)
 
     def in_flight_packets(self) -> int:
         """Packets injected but not yet fully delivered."""

@@ -66,3 +66,12 @@ class Packet:
             f"Packet(pid={self.pid}, {self.src}->{self.dst}, size={self.size}, "
             f"created={self.created}, injected={self.injected}, delivered={self.delivered})"
         )
+
+
+#: Sentinel packet marking a lane as dead (fault injection): it never
+#: moves and is never delivered, so allocating it to a lane makes the
+#: lane permanently busy for routing without touching the hot paths.
+#: Defined here (rather than in :mod:`repro.faults`) so low-level code —
+#: the engine's deadlock diagnostics in particular — can recognize
+#: faulted lanes without importing the fault subsystem.
+FAULT_SENTINEL = Packet(pid=-1, src=0, dst=0, size=1 << 30, created=-1)

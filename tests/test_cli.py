@@ -131,3 +131,64 @@ class TestCommands:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestFaultsCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.load == 1.0
+        assert args.fractions == "0,0.05,0.1,0.2"
+        assert not args.transient
+
+    def test_degradation_table_cube(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--network", "cube",
+                "--k", "4",
+                "--n", "2",
+                "--profile", "fast",
+                "--fractions", "0,0.1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cube fault degradation" in out
+        assert "escape frac" in out
+
+    def test_degradation_table_tree(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--network", "tree",
+                "--k", "2",
+                "--n", "3",
+                "--vcs", "2",
+                "--profile", "fast",
+                "--fractions", "0,0.2",
+            ]
+        )
+        assert code == 0
+        assert "tree fault degradation" in capsys.readouterr().out
+
+    def test_transient_timeline(self, capsys):
+        code = main(
+            [
+                "faults",
+                "--network", "cube",
+                "--k", "4",
+                "--n", "2",
+                "--profile", "fast",
+                "--transient",
+                "--fraction", "0.2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "failed mid-run" in out
+        assert "delivered flits per interval" in out
+
+    def test_bad_fractions_exit_code(self, capsys):
+        code = main(["faults", "--network", "tree", "--fractions", "0,x", "--profile", "fast"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

@@ -1,0 +1,199 @@
+"""Tests for time-varying faults (repro.faults.schedule) and engine hooks."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.faults import CubeLinkFault, FaultSchedule, ScheduledFault, TreeUplinkFault
+from repro.sim.packet import FAULT_SENTINEL, Packet
+from repro.sim.run import build_engine, cube_config, tree_config
+
+
+def make_tree(**overrides):
+    defaults = dict(
+        k=4, n=2, vcs=2, load=0.3, seed=9, warmup_cycles=100, total_cycles=1100
+    )
+    defaults.update(overrides)
+    return build_engine(tree_config(**defaults))
+
+
+def make_cube(**overrides):
+    defaults = dict(
+        k=4, n=2, vcs=4, load=0.3, seed=9, warmup_cycles=100, total_cycles=1100
+    )
+    defaults.update(overrides)
+    return build_engine(cube_config(**defaults))
+
+
+class TestCycleHooks:
+    def test_hook_fires_at_cycle(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        fired = []
+        eng.add_cycle_hook(7, lambda e: fired.append(e.cycle))
+        eng.run()
+        assert fired == [7]
+
+    def test_hooks_fire_in_insertion_order(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        fired = []
+        eng.add_cycle_hook(5, lambda e: fired.append("a"))
+        eng.add_cycle_hook(3, lambda e: fired.append("b"))
+        eng.add_cycle_hook(5, lambda e: fired.append("c"))
+        eng.run()
+        assert fired == ["b", "a", "c"]
+
+    def test_hook_added_during_hook_same_cycle_fires(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        fired = []
+        eng.add_cycle_hook(4, lambda e: e.add_cycle_hook(4, lambda e2: fired.append("x")))
+        eng.run()
+        assert fired == ["x"]
+
+    def test_rejects_past_cycle(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        eng.run()
+        with pytest.raises(ConfigurationError, match="already at"):
+            eng.add_cycle_hook(0, lambda e: None)
+
+
+class TestScheduledFaultValidation:
+    def test_rejects_negative_fail_cycle(self):
+        with pytest.raises(ConfigurationError, match="fail_at"):
+            ScheduledFault(TreeUplinkFault(0, 4), fail_at=-1)
+
+    def test_rejects_repair_before_failure(self):
+        with pytest.raises(ConfigurationError, match="repair_at"):
+            ScheduledFault(TreeUplinkFault(0, 4), fail_at=10, repair_at=10)
+
+    def test_add_rejects_bare_tuples(self):
+        with pytest.raises(ConfigurationError, match="spec"):
+            FaultSchedule().add((0, 4), fail_at=10)
+
+    def test_install_rejects_empty(self):
+        with pytest.raises(ConfigurationError, match="empty"):
+            FaultSchedule().install(make_tree())
+
+    def test_install_rejects_double_install(self):
+        schedule = FaultSchedule().add(TreeUplinkFault(0, 4), fail_at=10)
+        schedule.install(make_tree())
+        with pytest.raises(ConfigurationError, match="already installed"):
+            schedule.install(make_tree())
+
+    def test_install_rejects_mixed_networks(self):
+        schedule = (
+            FaultSchedule()
+            .add(TreeUplinkFault(0, 4), fail_at=10)
+            .add(CubeLinkFault(0, 0), fail_at=10)
+        )
+        with pytest.raises(ConfigurationError, match="one network"):
+            schedule.install(make_tree())
+
+    def test_install_validates_fault_set(self):
+        # all four ascent channels of switch 0: rejected even though the
+        # windows might never overlap in practice (conservative union)
+        schedule = FaultSchedule()
+        for port in (4, 5, 6, 7):
+            schedule.add(TreeUplinkFault(0, port), fail_at=10 * port)
+        with pytest.raises(ConfigurationError, match="live ascent"):
+            schedule.install(make_tree())
+
+    def test_install_rejects_unsafe_full_channel(self):
+        schedule = FaultSchedule().add(CubeLinkFault(0, 0, full_channel=True), fail_at=10)
+        with pytest.raises(ConfigurationError, match="escape subnetwork"):
+            schedule.install(make_cube())
+
+
+class TestStrikeAndRepair:
+    def test_free_lanes_seized_at_fail_cycle(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        FaultSchedule().add(TreeUplinkFault(0, 4), fail_at=50).install(eng)
+        states = {}
+        eng.add_cycle_hook(49, lambda e: states.update(before=[l.packet for l in e.out_lanes[0][4]]))
+        eng.add_cycle_hook(51, lambda e: states.update(after=[l.packet for l in e.out_lanes[0][4]]))
+        eng.run()
+        assert all(p is None for p in states["before"])
+        assert all(p is FAULT_SENTINEL for p in states["after"])
+
+    def test_repair_lifts_sentinels(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        FaultSchedule().add(TreeUplinkFault(0, 4), fail_at=50, repair_at=80).install(eng)
+        states = {}
+        eng.add_cycle_hook(81, lambda e: states.update(after=[l.packet for l in e.out_lanes[0][4]]))
+        eng.run()
+        assert all(p is None for p in states["after"])
+
+    def test_busy_lane_seized_only_after_drain(self):
+        # drive _ActiveFault's deferred-seizure path directly: a lane
+        # carrying a worm at strike time must not be clobbered
+        eng = make_tree(load=0.0, total_cycles=400)
+        schedule = FaultSchedule().add(TreeUplinkFault(0, 4), fail_at=50)
+        schedule.install(eng)
+        worm = Packet(pid=1, src=0, dst=5, size=4, created=0)
+        lanes = eng.out_lanes[0][4]
+        lanes[0].packet = worm
+        active = eng._cycle_hooks[50][0].__self__
+        active.strike(eng)
+        assert lanes[0].packet is worm  # occupied: left alone
+        assert all(lane.packet is FAULT_SENTINEL for lane in lanes[1:])
+        lanes[0].packet = None  # tail drains
+        active.strike(eng)
+        assert lanes[0].packet is FAULT_SENTINEL
+
+    def test_repair_cancels_pending_seizure(self):
+        eng = make_tree(load=0.0, total_cycles=400)
+        schedule = FaultSchedule().add(TreeUplinkFault(0, 4), fail_at=50)
+        schedule.install(eng)
+        worm = Packet(pid=1, src=0, dst=5, size=4, created=0)
+        lanes = eng.out_lanes[0][4]
+        lanes[0].packet = worm
+        active = eng._cycle_hooks[50][0].__self__
+        active.strike(eng)
+        active.repair(eng)
+        lanes[0].packet = None
+        active.strike(eng)  # a late re-armed strike must be a no-op
+        assert all(lane.packet is None for lane in lanes)
+
+    def test_midrun_strike_under_load_seizes_eventually(self):
+        eng = make_tree(load=0.8, total_cycles=1100)
+        FaultSchedule().add(TreeUplinkFault(0, 4), fail_at=200).install(eng)
+        res = eng.run()
+        eng.audit()
+        # every lane drained its last pre-fault worm and was then seized
+        assert all(lane.packet is FAULT_SENTINEL for lane in eng.out_lanes[0][4])
+        assert res.delivered_packets > 0
+
+
+class TestRideThrough:
+    def test_transient_unsafe_fault_survived_when_repaired(self):
+        # the full-channel fault would deadlock DOR permanently, but the
+        # repair lands before the watchdog gives up: the wedged packet
+        # rides the window out and delivers
+        eng = make_cube(
+            algorithm="dor", load=0.0, total_cycles=4000, watchdog_cycles=1000
+        )
+        schedule = FaultSchedule().add(
+            CubeLinkFault(0, 0, full_channel=True), fail_at=0, repair_at=300
+        )
+        schedule.install(eng, validate=False)
+        eng.preload_packet(0, eng.topology.neighbor(0, 0, 1))
+        eng.run()
+        assert eng.delivered_packets_total == 1
+
+    def test_same_fault_without_repair_deadlocks(self):
+        eng = make_cube(
+            algorithm="dor", load=0.0, total_cycles=4000, watchdog_cycles=600
+        )
+        schedule = FaultSchedule().add(CubeLinkFault(0, 0, full_channel=True), fail_at=0)
+        schedule.install(eng, validate=False)
+        eng.preload_packet(0, eng.topology.neighbor(0, 0, 1))
+        with pytest.raises(DeadlockError):
+            eng.run()
+
+    def test_scheduled_cube_run_stays_audit_clean(self):
+        eng = make_cube(load=0.5)
+        schedule = FaultSchedule()
+        schedule.add(CubeLinkFault(1, 0, 1), fail_at=150, repair_at=600)
+        schedule.add(CubeLinkFault(2, 1, -1), fail_at=300)
+        schedule.install(eng)
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 0

@@ -1,0 +1,188 @@
+"""Unit and behavioral tests for cube fault injection (repro.faults.cube)."""
+
+import pytest
+
+from repro.errors import ConfigurationError, DeadlockError
+from repro.faults import (
+    FAULT_SENTINEL,
+    inject_cube_link_faults,
+    random_cube_link_faults,
+    validate_escape_connectivity,
+)
+from repro.sim.run import build_engine, cube_config, tree_config
+from repro.topology.cube import KAryNCube
+
+
+def make_engine(**overrides):
+    defaults = dict(
+        k=4, n=2, vcs=4, load=0.4, seed=9, warmup_cycles=100, total_cycles=1100
+    )
+    defaults.update(overrides)
+    return build_engine(cube_config(**defaults))
+
+
+class TestValidation:
+    def test_rejects_tree(self):
+        eng = build_engine(tree_config(k=2, n=2, vcs=2))
+        with pytest.raises(ConfigurationError, match="n-cubes"):
+            inject_cube_link_faults(eng, [(0, 0, 1)])
+
+    def test_rejects_out_of_range_node(self):
+        eng = make_engine()
+        with pytest.raises(ConfigurationError, match="node"):
+            inject_cube_link_faults(eng, [(99, 0, 1)])
+
+    def test_rejects_out_of_range_dim(self):
+        eng = make_engine()
+        with pytest.raises(ConfigurationError, match="dimension"):
+            inject_cube_link_faults(eng, [(0, 5, 1)])
+
+    def test_rejects_bad_direction(self):
+        eng = make_engine()
+        with pytest.raises(ConfigurationError, match="direction"):
+            inject_cube_link_faults(eng, [(0, 0, 2)])
+
+    def test_full_channel_requires_validate_off(self):
+        eng = make_engine()
+        with pytest.raises(ConfigurationError, match="escape subnetwork"):
+            inject_cube_link_faults(eng, [(0, 0, 1)], full_channel=True)
+
+    def test_lane_faults_need_escape_algorithm(self):
+        # deterministic DOR owns every lane: no expendable adaptive subset
+        eng = make_engine(algorithm="dor")
+        with pytest.raises(ConfigurationError, match="expendable"):
+            inject_cube_link_faults(eng, [(0, 0, 1)])
+
+    def test_duplicates_collapse(self):
+        eng = make_engine()
+        assert inject_cube_link_faults(eng, [(0, 0, 1), (0, 0, 1)]) == 1
+
+    def test_hypercube_directions_merge(self):
+        # k=2: one physical channel per dimension, +1 and -1 are the same
+        eng = make_engine(k=2, n=3, algorithm="duato")
+        assert inject_cube_link_faults(eng, [(0, 1, 1), (0, 1, -1)]) == 1
+
+
+class TestLaneFaults:
+    def test_escape_lanes_survive(self):
+        eng = make_engine()
+        inject_cube_link_faults(eng, [(3, 1, -1)])
+        port = eng.topology.port_for(1, -1)
+        lanes = eng.out_lanes[3][port]
+        routing = eng.routing
+        for i, lane in enumerate(lanes):
+            if i < routing.n_adaptive:
+                assert lane.packet is FAULT_SENTINEL
+            else:
+                assert lane.packet is None
+
+    def test_adaptive_routes_around_faults(self):
+        eng = make_engine()
+        inject_cube_link_faults(eng, random_cube_link_faults(eng.topology, 8, seed=2))
+        res = eng.run()
+        eng.audit()
+        assert res.delivered_packets > 50
+
+    def test_faulted_lanes_carry_nothing(self):
+        eng = make_engine(load=0.8)
+        inject_cube_link_faults(eng, [(0, 0, 1)])
+        eng.run()
+        port = eng.topology.port_for(0, 1)
+        keep = eng.routing.n_adaptive
+        assert all(lane.sent == 0 for lane in eng.out_lanes[0][port][:keep])
+
+    def test_throughput_degrades_gracefully(self):
+        sustained = []
+        for nfaults in (0, 8, 16):
+            eng = make_engine(load=1.0, total_cycles=2100)
+            faults = random_cube_link_faults(eng.topology, nfaults, seed=3)
+            inject_cube_link_faults(eng, faults)
+            res = eng.run()
+            sustained.append(res.accepted_fraction)
+        assert sustained[0] >= sustained[1] - 0.03
+        assert sustained[1] >= sustained[2] - 0.03
+        assert sustained[2] > 0.3 * sustained[0]  # degraded, not collapsed
+
+
+class TestEscapeConnectivity:
+    def test_healthy_engine_validates(self):
+        validate_escape_connectivity(make_engine())
+
+    def test_detects_dead_escape_lane(self):
+        eng = make_engine()
+        port = eng.topology.port_for(0, 1)
+        eng.out_lanes[5][port][-1].packet = FAULT_SENTINEL  # an escape lane
+        with pytest.raises(ConfigurationError, match="escape lane"):
+            validate_escape_connectivity(eng)
+
+    def test_detects_disconnection_under_deterministic(self):
+        # under DOR every lane is an escape lane; killing a full channel
+        # must read as a strong-connectivity break, not just a dead lane
+        eng = make_engine(algorithm="dor")
+        inject_cube_link_faults(eng, [(0, 0, 1)], full_channel=True, validate=False)
+        with pytest.raises(ConfigurationError):
+            validate_escape_connectivity(eng)
+
+
+class TestDeterministicContrast:
+    def test_dor_deadlocks_on_full_channel_fault(self):
+        # node 0's +dim0 channel dies entirely; DOR's fixed path to the
+        # +dim0 neighbor crosses it, so the preloaded packet wedges and
+        # the watchdog fires with a populated diagnostic snapshot
+        eng = make_engine(
+            algorithm="dor", load=0.0,
+            total_cycles=4000, watchdog_cycles=600,
+        )
+        inject_cube_link_faults(eng, [(0, 0, 1)], full_channel=True, validate=False)
+        dst = eng.topology.neighbor(0, 0, 1)
+        eng.preload_packet(0, dst)
+        with pytest.raises(DeadlockError) as info:
+            eng.run()
+        snap = info.value.snapshot
+        assert snap is not None
+        assert snap.in_flight == 1
+        assert snap.faulted_lanes == eng.config.vcs
+        assert any(b.src == 0 and b.dst == dst for b in snap.blocked)
+        assert "deadlock at cycle" in str(info.value)
+
+    def test_duato_same_scenario_succeeds(self):
+        # identical lane-level fault and traffic under Duato: delivered
+        eng = make_engine(load=0.0, total_cycles=4000)
+        inject_cube_link_faults(eng, [(0, 0, 1)])
+        eng.preload_packet(0, eng.topology.neighbor(0, 0, 1))
+        eng.run()
+        assert eng.delivered_packets_total == 1
+
+
+class TestRandomFaults:
+    def test_distinct_and_in_range(self):
+        topo = KAryNCube(4, 2)
+        faults = random_cube_link_faults(topo, 20, seed=1)
+        assert len(faults) == len(set(faults)) == 20
+        for node, dim, direction in faults:
+            assert 0 <= node < topo.num_nodes
+            assert 0 <= dim < topo.n
+            assert direction in (1, -1)
+
+    def test_count_bounds(self):
+        topo = KAryNCube(4, 2)
+        population = topo.num_nodes * 2 * topo.n  # 64 directions
+        assert len(random_cube_link_faults(topo, population)) == population
+        with pytest.raises(ConfigurationError):
+            random_cube_link_faults(topo, population + 1)
+
+    def test_hypercube_population_halves(self):
+        topo = KAryNCube(2, 3)
+        population = topo.num_nodes * topo.n  # one channel per dim
+        drawn = random_cube_link_faults(topo, population)
+        assert len(drawn) == population
+        assert all(direction == 1 for _, _, direction in drawn)
+
+    def test_deterministic_by_seed(self):
+        topo = KAryNCube(4, 2)
+        assert random_cube_link_faults(topo, 6, seed=7) == random_cube_link_faults(
+            topo, 6, seed=7
+        )
+        assert random_cube_link_faults(topo, 6, seed=7) != random_cube_link_faults(
+            topo, 6, seed=8
+        )

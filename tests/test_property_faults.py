@@ -1,0 +1,101 @@
+"""Property-based tests for random fault drawing (repro.faults)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.faults import random_cube_link_faults, random_uplink_faults
+from repro.topology.cube import KAryNCube
+from repro.topology.tree import KAryNTree
+
+tree_shapes = st.sampled_from([(2, 2), (2, 3), (3, 2), (4, 2), (2, 4), (3, 3), (4, 3)])
+cube_shapes = st.sampled_from([(2, 2), (2, 3), (3, 2), (4, 2), (5, 2), (4, 3)])
+
+
+def tree_max_safe(topo: KAryNTree) -> int:
+    return (topo.n - 1) * topo.switches_per_level * (topo.k - 1)
+
+
+@st.composite
+def tree_draw(draw):
+    k, n = draw(tree_shapes)
+    topo = KAryNTree(k, n)
+    count = draw(st.integers(0, tree_max_safe(topo)))
+    seed = draw(st.integers(0, 2**16))
+    return topo, count, seed
+
+
+@st.composite
+def cube_draw(draw):
+    k, n = draw(cube_shapes)
+    topo = KAryNCube(k, n)
+    per_node = topo.n if topo.k == 2 else 2 * topo.n
+    count = draw(st.integers(0, topo.num_nodes * per_node))
+    seed = draw(st.integers(0, 2**16))
+    return topo, count, seed
+
+
+class TestTreeRandomFaults:
+    @given(tree_draw())
+    def test_never_exhausts_a_switch(self, case):
+        # the invariant behind fault masking: every non-root switch keeps
+        # at least one live ascent channel, whatever the draw
+        topo, count, seed = case
+        per_switch: dict[int, int] = {}
+        for switch, port in random_uplink_faults(topo, count, seed=seed):
+            assert port in topo.up_ports()
+            assert topo.level_of(switch) < topo.n - 1
+            per_switch[switch] = per_switch.get(switch, 0) + 1
+        assert all(c <= topo.k - 1 for c in per_switch.values())
+
+    @given(tree_draw())
+    def test_exact_count_and_distinct(self, case):
+        topo, count, seed = case
+        faults = random_uplink_faults(topo, count, seed=seed)
+        assert len(faults) == count
+        assert len(set(faults)) == count
+
+    @given(tree_draw())
+    def test_deterministic_under_fixed_seed(self, case):
+        topo, count, seed = case
+        assert random_uplink_faults(topo, count, seed=seed) == random_uplink_faults(
+            topo, count, seed=seed
+        )
+
+    @given(tree_shapes)
+    def test_rejects_beyond_max_safe(self, shape):
+        topo = KAryNTree(*shape)
+        max_safe = tree_max_safe(topo)
+        assert len(random_uplink_faults(topo, max_safe, seed=1)) == max_safe
+        with pytest.raises(ConfigurationError):
+            random_uplink_faults(topo, max_safe + 1, seed=1)
+
+
+class TestCubeRandomFaults:
+    @given(cube_draw())
+    def test_exact_count_distinct_and_in_range(self, case):
+        topo, count, seed = case
+        faults = random_cube_link_faults(topo, count, seed=seed)
+        assert len(faults) == count
+        assert len(set(faults)) == count
+        for node, dim, direction in faults:
+            assert 0 <= node < topo.num_nodes
+            assert 0 <= dim < topo.n
+            assert direction == 1 if topo.k == 2 else direction in (1, -1)
+
+    @given(cube_draw())
+    def test_deterministic_under_fixed_seed(self, case):
+        topo, count, seed = case
+        assert random_cube_link_faults(topo, count, seed=seed) == random_cube_link_faults(
+            topo, count, seed=seed
+        )
+
+    @given(cube_shapes)
+    def test_rejects_beyond_population(self, shape):
+        topo = KAryNCube(*shape)
+        per_node = topo.n if topo.k == 2 else 2 * topo.n
+        population = topo.num_nodes * per_node
+        assert len(random_cube_link_faults(topo, population, seed=1)) == population
+        with pytest.raises(ConfigurationError):
+            random_cube_link_faults(topo, population + 1, seed=1)
