@@ -41,6 +41,15 @@ from .faults import (
     random_uplink_faults,
     validate_escape_connectivity,
 )
+from .obs import (
+    MultiProbe,
+    NullProbe,
+    Probe,
+    RunTelemetry,
+    TraceProbe,
+    WindowedCounterProbe,
+    config_digest,
+)
 from .profiles import DEFAULT, FAST, FULL, Profile, get_profile
 from .sim.config import SimulationConfig
 from .sim.engine import Engine
@@ -97,5 +106,12 @@ __all__ = [
     "validate_escape_connectivity",
     "Trace",
     "run_trace",
+    "MultiProbe",
+    "NullProbe",
+    "Probe",
+    "RunTelemetry",
+    "TraceProbe",
+    "WindowedCounterProbe",
+    "config_digest",
     "__version__",
 ]

@@ -2,8 +2,12 @@
 
 Subcommands:
 
-* ``run`` — one simulation point, printing the §6 metrics;
-* ``sweep`` — a load sweep for one configuration (one CNF curve);
+* ``run`` — one simulation point, printing the §6 metrics (``--json``
+  emits the versioned run document with telemetry instead);
+* ``sweep`` — a load sweep for one configuration (one CNF curve), with
+  live per-point progress on stderr (``--json`` for machine output);
+* ``trace`` — one instrumented run: packet-lifecycle event trace
+  (Chrome ``trace_event`` and/or JSONL) plus windowed per-lane counters;
 * ``fig5`` / ``fig6`` / ``fig7`` — regenerate a paper figure's series
   (``--plot`` adds terminal scatter plots for fig5/fig6);
 * ``tables`` — print Tables 1 and 2 next to the paper's values;
@@ -15,9 +19,14 @@ Subcommands:
 * ``dimensions`` — the cube-dimensionality study (§11 outlook);
 * ``info`` — topology/normalization facts for a network.
 
+``--cprofile`` (on ``run``, ``sweep`` and ``trace``) wraps the command
+in :mod:`cProfile`; note ``--profile`` keeps its historical meaning of
+the simulation *effort* profile (fast/default/full).
+
 Examples::
 
-    repro-net run --network cube --algorithm duato --load 0.5
+    repro-net run --network cube --algorithm duato --load 0.5 --json
+    repro-net trace --network tree --vcs 2 --pattern transpose --load 0.8
     repro-net fig6 --pattern complement --profile fast --plot
     repro-net drain --network tree --pattern bitrev
     repro-net tables
@@ -26,6 +35,8 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import pathlib
 import sys
 
 from .errors import ConfigurationError, ReproError
@@ -68,6 +79,27 @@ def _add_common(p: argparse.ArgumentParser, with_algo: bool = True) -> None:
     p.add_argument("--profile", default=None, help="fast, default or full")
 
 
+def _add_observability(p: argparse.ArgumentParser) -> None:
+    """Machine output and CPU-profiling flags shared by run/sweep."""
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a versioned machine-readable JSON document (with telemetry)",
+    )
+    p.add_argument(
+        "--cprofile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="STATS",
+        help=(
+            "run under cProfile; with no value print the top functions to "
+            "stderr, with a path dump pstats there (--profile remains the "
+            "simulation effort profile)"
+        ),
+    )
+
+
 def _make_config(args, load: float):
     profile = get_profile(args.profile)
     common = dict(
@@ -84,32 +116,177 @@ def _make_config(args, load: float):
     return cube_config(k=args.k or 16, n=args.n or 2, algorithm=algorithm, **common)
 
 
+def _with_cprofile(args, body):
+    """Run ``body`` under cProfile when ``--cprofile`` was given.
+
+    ``--cprofile`` with no value prints the top cumulative functions to
+    stderr; with a path it dumps a :mod:`pstats` file for ``snakeviz``
+    and friends.  (The effort profile stays on ``--profile``.)
+    """
+    target = getattr(args, "cprofile", None)
+    if target is None:
+        return body()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return body()
+    finally:
+        profiler.disable()
+        if target == "-":
+            pstats.Stats(profiler, stream=sys.stderr).sort_stats(
+                "cumulative"
+            ).print_stats(25)
+        else:
+            profiler.dump_stats(target)
+            print(f"cProfile stats written to {target}", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
-    result = simulate(_make_config(args, args.load))
-    print(result.summary())
-    return 0
+    def body() -> int:
+        result = simulate(_make_config(args, args.load))
+        if args.json:
+            from .metrics.io import run_result_to_dict
+
+            print(json.dumps(run_result_to_dict(result), indent=1))
+        else:
+            print(result.summary())
+            if result.telemetry is not None:
+                print(result.telemetry.summary())
+        return 0
+
+    return _with_cprofile(args, body)
+
+
+def _progress_printer(stream=None):
+    """Live one-line-per-point sweep progress (stderr by default)."""
+    stream = stream or sys.stderr
+
+    def report(p) -> None:
+        rate = f"{p.cycles_per_sec:,.0f} cyc/s" if p.cycles_per_sec else p.status
+        print(
+            f"  [{p.done}/{p.total}] load {p.offered:.3f} {p.status:<6} {rate}",
+            file=stream,
+        )
+
+    return report
 
 
 def cmd_sweep(args) -> int:
-    profile = get_profile(args.profile)
-    loads = default_loads(profile.sweep_points)
-    series = run_sweep(lambda load: _make_config(args, load), loads, label=args.pattern)
-    from .experiments.report import render_table
-    from .metrics.saturation import saturation_point
+    def body() -> int:
+        profile = get_profile(args.profile)
+        loads = default_loads(profile.sweep_points)
+        telemetry: list = []
 
-    rows = [
-        [p.offered, p.offered_measured, p.accepted, p.latency_cycles, p.delivered_packets]
-        for p in series.points
-    ]
-    print(
-        render_table(
-            ["offered", "measured", "accepted", "latency_cyc", "packets"],
-            rows,
-            title=f"{args.network} sweep, {args.pattern} traffic",
+        printer = _progress_printer()
+
+        def progress(p) -> None:
+            printer(p)
+            if p.cycles_per_sec is not None:
+                telemetry.append(p.cycles_per_sec)
+
+        series = run_sweep(
+            lambda load: _make_config(args, load),
+            loads,
+            label=args.pattern,
+            progress=progress,
         )
-    )
-    print(f"saturation: {saturation_point(series):.3f} of capacity")
-    return 0
+        from .metrics.saturation import saturation_point
+
+        if args.json:
+            from .metrics.io import FORMAT_VERSION, series_to_dict
+
+            doc = {
+                "format": FORMAT_VERSION,
+                "series": series_to_dict(series),
+                "telemetry": {
+                    "points_simulated": len(telemetry),
+                    "mean_cycles_per_sec": (
+                        sum(telemetry) / len(telemetry) if telemetry else None
+                    ),
+                },
+            }
+            print(json.dumps(doc, indent=1))
+            return 0
+
+        from .experiments.report import render_table
+
+        rows = [
+            [p.offered, p.offered_measured, p.accepted, p.latency_cycles, p.delivered_packets]
+            for p in series.points
+        ]
+        print(
+            render_table(
+                ["offered", "measured", "accepted", "latency_cyc", "packets"],
+                rows,
+                title=f"{args.network} sweep, {args.pattern} traffic",
+            )
+        )
+        print(f"saturation: {saturation_point(series):.3f} of capacity")
+        return 0
+
+    return _with_cprofile(args, body)
+
+
+def cmd_trace(args) -> int:
+    def body() -> int:
+        from .errors import DeadlockError
+        from .obs import MultiProbe, TraceProbe, WindowedCounterProbe
+        from .sim.run import build_engine
+
+        config = _make_config(args, args.load)
+        tracer = TraceProbe(max_events=args.max_events)
+        counters = WindowedCounterProbe(window_cycles=args.window)
+        engine = build_engine(config, probe=MultiProbe([tracer, counters]))
+        deadlocked = None
+        try:
+            result = engine.run()
+        except DeadlockError as exc:
+            # the trace up to the wedge is exactly what one wants to see
+            deadlocked = exc
+            result = engine.result
+
+        out = pathlib.Path(args.out)
+        written = []
+        if args.format in ("chrome", "both"):
+            tracer.write_chrome_trace(out)
+            written.append(str(out))
+        if args.format in ("jsonl", "both"):
+            jsonl = out.with_suffix(".jsonl") if args.format == "both" else out
+            tracer.write_jsonl(jsonl)
+            written.append(str(jsonl))
+        if args.counters:
+            pathlib.Path(args.counters).write_text(
+                json.dumps({"window_cycles": args.window, "windows": counters.to_dicts()})
+            )
+            written.append(args.counters)
+
+        print(result.summary())
+        if result.telemetry is not None:
+            print(result.telemetry.summary())
+        print(
+            f"trace: {len(tracer.events)} events"
+            + (" (truncated)" if tracer.truncated else "")
+            + f", {len(counters.windows)} counter windows -> {', '.join(written)}"
+        )
+        blocked = counters.most_blocked(3)
+        if blocked and blocked[0][1]["blocked_cycles"]:
+            print("most blocked channel directions (switch, port):")
+            for (switch, port), tot in blocked:
+                if not tot["blocked_cycles"]:
+                    continue
+                print(
+                    f"  sw{switch} port{port}: {tot['blocked_cycles']} blocked cycles, "
+                    f"{tot['flits']} flits over {tot['cycles']} measured cycles"
+                )
+        if deadlocked is not None:
+            print(f"error: {deadlocked}", file=sys.stderr)
+            return 1
+        return 0
+
+    return _with_cprofile(args, body)
 
 
 def cmd_fig5(args) -> int:
@@ -291,11 +468,57 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate one offered-load point")
     _add_common(p)
     p.add_argument("--load", type=float, default=0.5, help="fraction of capacity")
+    _add_observability(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="run a load sweep for one configuration")
     _add_common(p)
+    _add_observability(p)
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser(
+        "trace",
+        help="one instrumented run: event trace + windowed lane counters",
+    )
+    _add_common(p)
+    p.add_argument("--load", type=float, default=0.5, help="fraction of capacity")
+    p.add_argument(
+        "--out",
+        default="trace.json",
+        help="trace output path (Chrome trace_event JSON; .jsonl for jsonl)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("chrome", "jsonl", "both"),
+        default="chrome",
+        help="chrome://tracing document, JSONL event stream, or both",
+    )
+    p.add_argument(
+        "--window",
+        type=int,
+        default=200,
+        help="counter window length in cycles",
+    )
+    p.add_argument(
+        "--counters",
+        default=None,
+        help="also write the windowed counters to this JSON path",
+    )
+    p.add_argument(
+        "--max-events",
+        type=int,
+        default=1_000_000,
+        help="trace event cap (the trace is marked truncated past it)",
+    )
+    p.add_argument(
+        "--cprofile",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="STATS",
+        help="profile under cProfile (optional pstats dump path)",
+    )
+    p.set_defaults(func=cmd_trace)
 
     for name, func, help_ in (
         ("fig5", cmd_fig5, "fat-tree CNF curves (Figure 5)"),

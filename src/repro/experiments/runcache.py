@@ -21,32 +21,19 @@ file from an incompatible format version misses instead of misleading.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import json
 import os
 import pathlib
 
-from ..sim.config import SimulationConfig
+from ..errors import AnalysisError
+from ..metrics.io import run_result_from_dict, run_result_to_dict
 from ..sim.results import RunResult
 
-#: bump on breaking entry-format changes; mismatched entries are ignored
-ENTRY_FORMAT = 1
-
-#: RunResult counter fields persisted per entry (config travels separately)
-_RESULT_FIELDS = (
-    "measured_cycles",
-    "generated_packets",
-    "injected_packets",
-    "delivered_packets",
-    "delivered_flits",
-    "latency_sum",
-    "head_latency_sum",
-    "latency_max",
-    "latencies",
-    "in_flight_at_end",
-    "throughput_timeline",
-)
+#: bump on breaking entry-format changes; mismatched entries are ignored.
+#: v2 wraps the shared versioned run document of :mod:`repro.metrics.io`
+#: (adding telemetry); v1 entries read as misses and are resimulated.
+ENTRY_FORMAT = 2
 
 
 def _key_json(key: tuple) -> str:
@@ -83,11 +70,9 @@ class RunCache:
         if doc.get("format") != ENTRY_FORMAT or doc.get("key") != json.loads(_key_json(key)):
             return None
         try:
-            config = SimulationConfig(**doc["config"])
-            fields = {name: doc["result"][name] for name in _RESULT_FIELDS}
-        except (KeyError, TypeError):
+            return run_result_from_dict(doc["run"])
+        except (AnalysisError, KeyError, TypeError):
             return None
-        return RunResult(config=config, **fields)
 
     def put(self, key: tuple, result: RunResult) -> pathlib.Path:
         """Persist one entry atomically (write to temp, then rename)."""
@@ -96,10 +81,7 @@ class RunCache:
         doc = {
             "format": ENTRY_FORMAT,
             "key": json.loads(_key_json(key)),
-            "config": dataclasses.asdict(result.config),
-            "result": {
-                name: getattr(result, name) for name in _RESULT_FIELDS
-            },
+            "run": run_result_to_dict(result),
         }
         # per-process temp name: concurrent workers never share a temp file
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")

@@ -34,6 +34,13 @@ Resilience knobs — a single bad point must not abort a campaign:
 
 Configuration errors always propagate immediately: they would fail every
 attempt of every point, so retrying or recording them only hides a bug.
+
+Campaigns are observable: pass ``progress`` a callable and it receives a
+:class:`PointProgress` after every point — completion counts, the
+point's outcome and the worker engine's cycles/sec (from the run's
+:class:`~repro.obs.telemetry.RunTelemetry`, which survives the process
+boundary of parallel workers) — so a long sweep can render a live
+progress line instead of going dark for minutes.
 """
 
 from __future__ import annotations
@@ -67,6 +74,30 @@ _RETRYABLE = (SimulationError, RoutingError, PointTimeoutError)
 #: seed stride between retry attempts (a prime, to dodge accidental
 #: correlation with user seed conventions like 0/1/2/...)
 _RESEED_STRIDE = 7919
+
+
+@dataclasses.dataclass(frozen=True)
+class PointProgress:
+    """One progress report from a running sweep campaign.
+
+    Attributes:
+        done: points finished so far (including this one).
+        total: points in the campaign.
+        offered: the point's offered load.
+        label: the point's config label.
+        status: ``"ok"`` (simulated), ``"cached"`` (memo or disk hit) or
+            ``"failed"`` (recorded as a :class:`FailedPoint`).
+        cycles_per_sec: the worker engine's throughput for this point,
+            when the result carries telemetry (cached and failed points
+            report ``None``).
+    """
+
+    done: int
+    total: int
+    offered: float
+    label: str
+    status: str
+    cycles_per_sec: float | None
 
 
 def _cache_key(config: SimulationConfig) -> tuple:
@@ -237,6 +268,7 @@ def run_sweep(
     timeout: float | None = None,
     record_failures: bool = False,
     cache: RunCache | None = None,
+    progress: Callable[[PointProgress], None] | None = None,
 ) -> LoadSweepSeries:
     """Run one configuration over a load grid.
 
@@ -255,6 +287,8 @@ def run_sweep(
             entries instead of raising (the resilient-campaign mode).
         cache: optional on-disk :class:`RunCache`; completed points are
             persisted atomically and reloaded on the next campaign.
+        progress: optional live-telemetry sink; called once per finished
+            point with a :class:`PointProgress` (cached hits included).
     """
     if not loads:
         raise ConfigurationError("empty load grid")
@@ -272,6 +306,26 @@ def run_sweep(
         pattern=sample.pattern,
     )
 
+    total = len(configs)
+    done = 0
+
+    def report(config: SimulationConfig, status: str, result=None) -> None:
+        nonlocal done
+        done += 1
+        if progress is None:
+            return
+        telemetry = result.telemetry if result is not None else None
+        progress(
+            PointProgress(
+                done=done,
+                total=total,
+                offered=config.load,
+                label=config.label(),
+                status=status,
+                cycles_per_sec=telemetry.cycles_per_sec if telemetry else None,
+            )
+        )
+
     # Classify by cache key — never by config equality: two configs that
     # compare equal are the same *recipe* regardless of which factory call
     # produced them, and key sets keep this O(n).
@@ -285,6 +339,7 @@ def run_sweep(
                 _CACHE[key] = result
         if result is not None:
             series.add(result)
+            report(config, "cached")
         else:
             pending.append(config)
     if not pending:  # fully cached: no pool, no subprocesses, no work
@@ -298,10 +353,12 @@ def run_sweep(
                 if cache is not None:
                     cache.put(_cache_key(result.config), result)
             series.add(result)
+            report(config, "ok", result)
         else:
             if not record_failures:
                 raise outcome[2]
             series.add_failure(outcome[1])
+            report(config, "failed")
 
     if parallel and len(pending) > 1:
         for config, outcome in zip(
@@ -313,6 +370,7 @@ def run_sweep(
             key = _cache_key(config)
             if use_cache and key in _CACHE:  # duplicate earlier in this grid
                 series.add(_CACHE[key])
+                report(config, "cached")
                 continue
             consume(config, _point_task(config, retries=retries, timeout=timeout))
     return series

@@ -1,30 +1,110 @@
-"""Persistence of sweep results.
+"""Persistence of simulation and sweep results.
 
 Sweeps are expensive (minutes to hours at the full profile); these
-helpers serialize :class:`~repro.metrics.series.LoadSweepSeries` and
-:class:`~repro.metrics.cnf.CNFResult` to a stable JSON document so runs
-can be archived, diffed across code versions, and re-rendered without
+helpers serialize :class:`~repro.sim.results.RunResult` (with its
+telemetry), :class:`~repro.metrics.series.LoadSweepSeries` and
+:class:`~repro.metrics.cnf.CNFResult` to stable JSON documents so runs
+can be archived, diffed across code versions, consumed by external
+tooling (``repro-net run --json``) and re-rendered without
 resimulation::
 
-    from repro.metrics.io import save_cnf, load_cnf
+    from repro.metrics.io import save_cnf, load_cnf, save_run, load_run
     save_cnf(cnf, "fig6_uniform.json")
     render_cnf(load_cnf("fig6_uniform.json"))
+    save_run(result, "point.json")
 
-The format is versioned; loading rejects documents from incompatible
+Every format is versioned; loading rejects documents from incompatible
 versions instead of misreading them.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import pathlib
 
 from ..errors import AnalysisError
+from ..obs.telemetry import RunTelemetry
+from ..sim.config import SimulationConfig
+from ..sim.results import RunResult
 from .cnf import CNFResult
 from .series import FailedPoint, LoadPoint, LoadSweepSeries
 
 #: bump on breaking format changes
 FORMAT_VERSION = 1
+
+#: version of the single-run JSON document (``repro-net run --json``,
+#: RunCache entries); bump on breaking changes
+RUN_FORMAT_VERSION = 1
+
+#: RunResult counter fields persisted in the run document (config and
+#: telemetry travel in their own sections)
+RUN_RESULT_FIELDS = (
+    "measured_cycles",
+    "generated_packets",
+    "injected_packets",
+    "delivered_packets",
+    "delivered_flits",
+    "latency_sum",
+    "head_latency_sum",
+    "latency_max",
+    "latencies",
+    "in_flight_at_end",
+    "throughput_timeline",
+)
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Versioned plain-data document for one run (the ``--json`` schema).
+
+    Layout: ``format`` (int), ``config`` (every SimulationConfig field),
+    ``result`` (the :data:`RUN_RESULT_FIELDS` counters), ``telemetry``
+    (the :class:`~repro.obs.telemetry.RunTelemetry` record, or ``None``
+    for results that never ran through the engine).
+    """
+    return {
+        "format": RUN_FORMAT_VERSION,
+        "config": dataclasses.asdict(result.config),
+        "result": {name: getattr(result, name) for name in RUN_RESULT_FIELDS},
+        "telemetry": result.telemetry.to_dict() if result.telemetry else None,
+    }
+
+
+def run_result_from_dict(doc: dict) -> RunResult:
+    """Inverse of :func:`run_result_to_dict`.
+
+    Raises:
+        AnalysisError: on a version mismatch or missing fields.
+    """
+    version = doc.get("format")
+    if version != RUN_FORMAT_VERSION:
+        raise AnalysisError(
+            f"unsupported run format {version!r} (expected {RUN_FORMAT_VERSION})"
+        )
+    try:
+        config = SimulationConfig(**doc["config"])
+        fields = {name: doc["result"][name] for name in RUN_RESULT_FIELDS}
+        telemetry_doc = doc.get("telemetry")
+        telemetry = (
+            RunTelemetry.from_dict(telemetry_doc) if telemetry_doc is not None else None
+        )
+    except (KeyError, TypeError) as exc:
+        raise AnalysisError(f"malformed run document: {exc}") from exc
+    return RunResult(config=config, telemetry=telemetry, **fields)
+
+
+def save_run(result: RunResult, path: str | pathlib.Path) -> None:
+    """Write one run (counters + telemetry) to a JSON file."""
+    pathlib.Path(path).write_text(json.dumps(run_result_to_dict(result), indent=1))
+
+
+def load_run(path: str | pathlib.Path) -> RunResult:
+    """Read a run document back; raises AnalysisError on malformed input."""
+    try:
+        doc = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise AnalysisError(f"cannot load run result from {path}: {exc}") from exc
+    return run_result_from_dict(doc)
 
 
 def series_to_dict(series: LoadSweepSeries) -> dict:

@@ -12,8 +12,12 @@ the analyses behind the paper's arguments:
 * hot-channel statistics (:func:`channel_loads`, :func:`utilization_summary`)
   quantify the imbalance adaptive routing is supposed to smooth out.
 
-Counters accumulate over the whole run (warm-up included), so use them
-for comparative statements rather than absolute rates.
+All rates describe the **measurement window**: the engine snapshots the
+per-direction flit counters at the warm-up boundary
+(``LinkDirection.flits_at_warmup``), so warm-up transients never leak
+into utilization numbers.  Pass ``window="total"`` to
+:func:`channel_loads` for the raw whole-run counters when comparing
+against cumulative engine statistics.
 """
 
 from __future__ import annotations
@@ -34,19 +38,48 @@ class ChannelLoad:
     port: int
     to_node: bool
     flits: int
-    utilization: float  # flits per simulated cycle, in [0, 1]
+    utilization: float  # flits per cycle of the window, in [0, 1]
 
 
-def channel_loads(engine: Engine) -> list[ChannelLoad]:
-    """Per-direction load snapshot, sorted hottest first."""
-    cycles = max(engine.cycle, 1)
+def measured_cycles(engine: Engine) -> int:
+    """Cycles covered by the measurement-window flit counters.
+
+    The engine snapshots every direction's cumulative counter when it
+    crosses the warm-up boundary; an engine stopped before that boundary
+    never took the snapshot, so its "window" is the whole (short) run.
+    """
+    warmup = engine.config.warmup_cycles
+    if engine.cycle > warmup:
+        return engine.cycle - warmup
+    return max(engine.cycle, 1)
+
+
+def channel_loads(engine: Engine, window: str = "measured") -> list[ChannelLoad]:
+    """Per-direction load snapshot, sorted hottest first.
+
+    Args:
+        engine: a finished (or at least advanced) engine.
+        window: ``"measured"`` (default) reports measurement-window rates;
+            ``"total"`` reports whole-run counters including warm-up.
+
+    Raises:
+        AnalysisError: on an unknown ``window`` selector.
+    """
+    if window == "measured":
+        cycles = measured_cycles(engine)
+        flits_of = lambda d: d.measured_flits  # noqa: E731 - tiny selector
+    elif window == "total":
+        cycles = max(engine.cycle, 1)
+        flits_of = lambda d: d.flits  # noqa: E731
+    else:
+        raise AnalysisError(f"unknown window {window!r}; use 'measured' or 'total'")
     loads = [
         ChannelLoad(
             switch=d.switch,
             port=d.port,
             to_node=d.to_node,
-            flits=d.flits,
-            utilization=d.flits / cycles,
+            flits=flits_of(d),
+            utilization=flits_of(d) / cycles,
         )
         for d in engine.dirs
     ]
@@ -54,13 +87,14 @@ def channel_loads(engine: Engine) -> list[ChannelLoad]:
     return loads
 
 
-def utilization_summary(engine: Engine) -> dict[str, float]:
+def utilization_summary(engine: Engine, window: str = "measured") -> dict[str, float]:
     """Aggregate utilization statistics over the internal channels.
 
-    Returns mean, max and the max/mean imbalance ratio; node (ejection)
-    channels are excluded so the numbers describe the fabric itself.
+    Returns mean, max and the max/mean imbalance ratio over the selected
+    window (measurement window by default); node (ejection) channels are
+    excluded so the numbers describe the fabric itself.
     """
-    internal = [c for c in channel_loads(engine) if not c.to_node]
+    internal = [c for c in channel_loads(engine, window=window) if not c.to_node]
     if not internal:
         raise AnalysisError("network has no internal channels")
     values = [c.utilization for c in internal]
@@ -79,8 +113,8 @@ def cube_bisection_load(engine: Engine, dim: int = 0) -> dict[str, float]:
     The cut severs each ring of dimension ``dim`` between digits
     ``k/2 - 1 | k/2`` and at the wrap-around ``k-1 | 0``.  Returns the
     total crossing flits and the mean utilization of the crossing
-    channels — under complement traffic these approach 1.0 while the
-    fabric average stays far lower.
+    channels over the measurement window — under complement traffic
+    these approach 1.0 while the fabric average stays far lower.
     """
     topo = engine.topology
     if not isinstance(topo, KAryNCube):
@@ -102,8 +136,8 @@ def cube_bisection_load(engine: Engine, dim: int = 0) -> dict[str, float]:
             crossing.append(d)
     if not crossing:
         raise AnalysisError(f"no crossing channels found for dim {dim}")
-    cycles = max(engine.cycle, 1)
-    total = sum(d.flits for d in crossing)
+    cycles = measured_cycles(engine)
+    total = sum(d.measured_flits for d in crossing)
     return {
         "channels": float(len(crossing)),
         "flits": float(total),
@@ -112,7 +146,8 @@ def cube_bisection_load(engine: Engine, dim: int = 0) -> dict[str, float]:
 
 
 def tree_level_loads(engine: Engine) -> dict[int, float]:
-    """Mean utilization of the tree's inter-level channels per level gap.
+    """Mean measurement-window utilization of the tree's inter-level
+    channels per level gap.
 
     Key ``l`` covers the channels between switch levels ``l`` and
     ``l+1``; key ``-1`` covers the node links.  On congestion-free
@@ -122,7 +157,7 @@ def tree_level_loads(engine: Engine) -> dict[int, float]:
     topo = engine.topology
     if not isinstance(topo, KAryNTree):
         raise AnalysisError("level loads defined for trees only")
-    cycles = max(engine.cycle, 1)
+    cycles = measured_cycles(engine)
     sums: dict[int, list[int]] = {}
     for d in engine.dirs:
         if d.to_node:
@@ -134,7 +169,7 @@ def tree_level_loads(engine: Engine) -> dict[int, float]:
             key = level - 1 if d.port < topo.k else level
             if key == -1:
                 key = -1  # leaf down ports are node links (to_node) anyway
-        sums.setdefault(key, []).append(d.flits)
+        sums.setdefault(key, []).append(d.measured_flits)
     return {
         key: sum(flits) / (len(flits) * cycles) for key, flits in sorted(sums.items())
     }

@@ -1,0 +1,45 @@
+"""Observability: flit-level probes, windowed counters, run telemetry.
+
+The paper's claims rest on *where* flits spend their cycles — blocked
+behind busy lanes, waiting in injection queues, crossing the cube's
+bisection.  This package makes those places visible without taxing
+uninstrumented runs:
+
+* :mod:`repro.obs.probe` — the probe interface the engine calls at flit
+  granularity (``Engine.attach_probe``); a no-op :class:`Probe` base, a
+  ``NullProbe`` alias for overhead benchmarking and a :class:`MultiProbe`
+  combinator.
+* :mod:`repro.obs.trace` — :class:`TraceProbe`: a packet-lifecycle event
+  trace exportable as JSONL and Chrome ``trace_event`` format
+  (``chrome://tracing`` / Perfetto).
+* :mod:`repro.obs.counters` — :class:`WindowedCounterProbe`: per-window,
+  per-direction flit/blocked-cycle/occupancy counters that respect the
+  measurement window.
+* :mod:`repro.obs.telemetry` — :class:`RunTelemetry`: the provenance and
+  performance record (config digest, seed, wall clock, cycles/sec, peak
+  in-flight) attached to every :class:`~repro.sim.results.RunResult`.
+
+CLI entry points: ``repro-net trace`` for instrumented single runs,
+``repro-net run/sweep --json`` for machine-readable results including
+telemetry, and ``benchmarks/obs_overhead.py`` for the probe-overhead
+smoke benchmark CI runs on every push.
+"""
+
+from .counters import CounterWindow, DirectionWindow, WindowedCounterProbe
+from .probe import MultiProbe, NullProbe, Probe
+from .telemetry import RunTelemetry, config_digest
+from .trace import EVENT_KINDS, TraceEvent, TraceProbe
+
+__all__ = [
+    "CounterWindow",
+    "DirectionWindow",
+    "WindowedCounterProbe",
+    "MultiProbe",
+    "NullProbe",
+    "Probe",
+    "RunTelemetry",
+    "config_digest",
+    "EVENT_KINDS",
+    "TraceEvent",
+    "TraceProbe",
+]

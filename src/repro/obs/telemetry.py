@@ -1,0 +1,85 @@
+"""Run telemetry: provenance and performance facts about one simulation.
+
+Every :class:`~repro.sim.results.RunResult` produced by ``Engine.run`` or
+``Engine.run_until_drained`` carries a :class:`RunTelemetry`: a compact
+record of *how* the numbers were produced — which exact recipe (a stable
+config digest), which seed, how long the run took on the wall clock, the
+engine's cycles/sec, and the peak number of packets simultaneously in
+flight.  Telemetry travels with the result through pickling (parallel
+sweep workers), the JSON run document (:mod:`repro.metrics.io`) and the
+on-disk sweep :class:`~repro.experiments.runcache.RunCache`, so archived
+results stay attributable and every future optimisation PR has a
+recorded baseline to beat.
+
+This module deliberately depends on nothing inside :mod:`repro` so the
+result layer can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+
+def config_digest(config) -> str:
+    """Stable short digest of a full run recipe.
+
+    Hashes the canonical JSON of the config dataclass (all fields, sorted
+    keys), so two configs collide exactly when every knob — including the
+    seed and the statistics windows — agrees.  16 hex chars keep it
+    greppable in logs while leaving collisions out of practical reach.
+    """
+    doc = json.dumps(dataclasses.asdict(config), sort_keys=True, default=str)
+    return hashlib.sha256(doc.encode()).hexdigest()[:16]
+
+
+@dataclass(frozen=True)
+class RunTelemetry:
+    """Provenance and performance record of one finished run.
+
+    Attributes:
+        config_hash: :func:`config_digest` of the run recipe.
+        seed: master RNG seed (echoed out of the config for quick access).
+        cycles: simulated cycles covered by this run call.
+        wall_clock_s: wall-clock duration of the run call in seconds.
+        cycles_per_sec: simulated cycles per wall-clock second (the
+            engine-throughput figure of merit for optimisation PRs).
+        peak_in_flight: maximum number of packets simultaneously in the
+            network at any point of the run (memory/backlog high-water
+            mark; grows sharply past saturation).
+    """
+
+    config_hash: str
+    seed: int
+    cycles: int
+    wall_clock_s: float
+    cycles_per_sec: float
+    peak_in_flight: int
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON documents."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> RunTelemetry:
+        """Inverse of :meth:`to_dict`; raises KeyError/TypeError on
+        malformed input (callers wrap into AnalysisError)."""
+        return cls(
+            config_hash=doc["config_hash"],
+            seed=doc["seed"],
+            cycles=doc["cycles"],
+            wall_clock_s=doc["wall_clock_s"],
+            cycles_per_sec=doc["cycles_per_sec"],
+            peak_in_flight=doc["peak_in_flight"],
+        )
+
+    def summary(self) -> str:
+        """One-line digest for logs and CLI output."""
+        return (
+            f"config {self.config_hash} seed {self.seed}: "
+            f"{self.cycles} cycles in {self.wall_clock_s:.2f}s "
+            f"({self.cycles_per_sec:,.0f} cyc/s), "
+            f"peak in-flight {self.peak_in_flight}"
+        )

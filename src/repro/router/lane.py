@@ -202,7 +202,7 @@ class LinkDirection:
     maintains it on every buffered-count 0↔1 transition.
     """
 
-    __slots__ = ("lanes", "rr", "nbusy", "to_node", "flits")
+    __slots__ = ("lanes", "rr", "nbusy", "to_node", "flits", "flits_at_warmup")
 
     def __init__(self, lanes: list[OutputLane], to_node: bool = False):
         self.lanes = lanes
@@ -214,8 +214,17 @@ class LinkDirection:
         self.nbusy = 0
         #: True for ejection channels (sinks are EjectionLanes)
         self.to_node = to_node
-        #: flits transferred over this direction (utilization statistics)
+        #: flits transferred over this direction since cycle 0
         self.flits = 0
+        #: snapshot of ``flits`` taken by the engine at the warm-up
+        #: boundary, so utilization analyses can report measurement-window
+        #: rates (``measured_flits``) instead of whole-run counts
+        self.flits_at_warmup = 0
+
+    @property
+    def measured_flits(self) -> int:
+        """Flits transferred during the measurement window only."""
+        return self.flits - self.flits_at_warmup
 
     @property
     def switch(self) -> int:

@@ -29,7 +29,10 @@ conservation) after any run.
 
 from __future__ import annotations
 
+import time
+
 from ..errors import ConfigurationError, DeadlockError, SimulationError
+from ..obs.telemetry import RunTelemetry, config_digest
 from ..router.lane import EjectionLane, InputLane, LinkDirection, OutputLane
 from ..routing.base import RoutingAlgorithm
 from ..topology.base import Topology
@@ -117,6 +120,10 @@ class Engine:
         self._cycle_hooks: dict[int, list] = {}
         self._next_hook_cycle = -1
 
+        #: attached observability probe (repro.obs); None keeps the hot
+        #: loop on its fast path with only `is not None` guards
+        self.probe = None
+
         # routing bookkeeping
         self.pending: list[list[InputLane]] = [[] for _ in range(num_switches)]
         self.route_rr = [0] * num_switches
@@ -138,6 +145,9 @@ class Engine:
         self._interval_delivered = 0
         self._last_progress = 0
         self._next_pid = 0
+        #: high-water mark of packets simultaneously in flight (telemetry)
+        self._peak_in_flight = 0
+        self._warmup_snapshot_taken = config.warmup_cycles == 0
 
         routing.attach(self)
         self.routing = routing
@@ -221,6 +231,40 @@ class Engine:
         if node not in self.active_nodes:
             self.active_nodes.append(node)
 
+    # -- observability -------------------------------------------------------------
+
+    def attach_probe(self, probe) -> None:
+        """Attach an observability probe (see :mod:`repro.obs.probe`).
+
+        The probe's ``bind`` runs immediately so it can pre-size per-lane
+        state from the live engine.  Only one probe slot exists; compose
+        several with :class:`~repro.obs.probe.MultiProbe`.
+
+        Raises:
+            ConfigurationError: when a probe is already attached.
+        """
+        if self.probe is not None:
+            raise ConfigurationError(
+                "a probe is already attached; compose probes with MultiProbe"
+            )
+        probe.bind(self)
+        self.probe = probe
+
+    def _finish_run(self, started_at_cycle: int, wall_start: float) -> None:
+        """Attach telemetry to the result and close out the probe."""
+        wall = time.perf_counter() - wall_start
+        cycles = self.cycle - started_at_cycle
+        self.result.telemetry = RunTelemetry(
+            config_hash=config_digest(self.config),
+            seed=self.config.seed,
+            cycles=cycles,
+            wall_clock_s=wall,
+            cycles_per_sec=cycles / wall if wall > 0 else 0.0,
+            peak_in_flight=self._peak_in_flight,
+        )
+        if self.probe is not None:
+            self.probe.on_run_end(self)
+
     # -- cycle hooks ---------------------------------------------------------------
 
     def add_cycle_hook(self, cycle: int, fn) -> None:
@@ -257,6 +301,13 @@ class Engine:
         if t == self._next_hook_cycle:
             self._run_cycle_hooks(t)
         warm = t >= self.config.warmup_cycles
+        if warm and not self._warmup_snapshot_taken:
+            # freeze the cumulative per-direction flit counters so the
+            # utilization analyses can report measurement-window rates
+            self._warmup_snapshot_taken = True
+            for d in self.dirs:
+                d.flits_at_warmup = d.flits
+        probe = self.probe
         res = self.result
         progress = False
 
@@ -287,6 +338,8 @@ class Engine:
                             sink.packet = pkt
                             sink.received = 1
                             pkt.head_delivered = t
+                            if probe is not None:
+                                probe.on_head_delivered(t, pkt)
                         else:
                             sink.received += 1
                         if warm:
@@ -299,6 +352,8 @@ class Engine:
                             sink.packet = None
                             sink.received = 0
                             self.delivered_packets_total += 1
+                            if probe is not None:
+                                probe.on_tail_delivered(t, pkt)
                             if pkt.injected >= self.config.warmup_cycles:
                                 res.delivered_packets += 1
                                 lat = t - pkt.injected
@@ -324,6 +379,10 @@ class Engine:
                     d.rr = idx + 1 if idx + 1 < n else 0
                     progress = True
                     break
+            else:
+                # busy direction, no lane had both a flit and a credit
+                if probe is not None:
+                    probe.on_direction_blocked(t, d)
 
         # ---- phase 1b: injection ------------------------------------------
         cap = self.config.buffer_flits
@@ -331,8 +390,11 @@ class Engine:
         for node in self.active_nodes:
             src = node.source
             created = src.advance(t)
-            if created and warm:
-                res.generated_packets += created
+            if created:
+                if warm:
+                    res.generated_packets += created
+                if probe is not None:
+                    probe.on_packets_generated(t, node.nid, created)
             pkt = node.packet
             if pkt is None:
                 if not src.queue:
@@ -364,8 +426,13 @@ class Engine:
                 node.lane = lane
                 self.injected_packets_total += 1
                 self.injected_flits_total += 1
+                in_flight = self.injected_packets_total - self.delivered_packets_total
+                if in_flight > self._peak_in_flight:
+                    self._peak_in_flight = in_flight
                 if warm:
                     res.injected_packets += 1
+                if probe is not None:
+                    probe.on_packet_injected(t, pkt)
                 progress = True
                 if node.sent == size:  # degenerate tiny packets
                     node.packet = None
@@ -442,6 +509,8 @@ class Engine:
                         out.packet = lane.packet
                         bindings.append(lane)
                         routed = idx
+                        if probe is not None:
+                            probe.on_header_routed(t, s, lane, out)
                         break
                 if routed >= 0:
                     pend.pop(routed)
@@ -458,6 +527,8 @@ class Engine:
             res.throughput_timeline.append(self._interval_delivered)
             self._interval_delivered = 0
 
+        if probe is not None:
+            probe.on_cycle(t)
         self.cycle = t + 1
         return progress
 
@@ -480,6 +551,10 @@ class Engine:
         """
         watchdog = self.config.watchdog_cycles
         total = self.config.total_cycles
+        start_cycle = self.cycle
+        wall_start = time.perf_counter()
+        if self.probe is not None:
+            self.probe.on_run_start(self)
         while self.cycle < total:
             if self.step():
                 self._last_progress = self.cycle
@@ -488,12 +563,14 @@ class Engine:
                 and self.in_flight_packets() > 0
                 and self.cycle - self._last_progress >= watchdog
             ):
+                self._finish_run(start_cycle, wall_start)
                 raise self._deadlock(
                     f"no flit movement for {watchdog} cycles at cycle {self.cycle} "
                     f"with {self.in_flight_packets()} packets in flight "
                     f"({self.config.label()})"
                 )
         self.result.in_flight_at_end = self.in_flight_packets()
+        self._finish_run(start_cycle, wall_start)
         return self.result
 
     def run_until_drained(self, max_cycles: int = 1_000_000) -> int:
@@ -513,12 +590,18 @@ class Engine:
                 delivered by ``max_cycles``.
         """
         watchdog = self.config.watchdog_cycles
+        start_cycle = self.cycle
+        wall_start = time.perf_counter()
+        if self.probe is not None:
+            self.probe.on_run_start(self)
         while True:
             if self.in_flight_packets() == 0 and all(
                 node.source.done() for node in self.active_nodes
             ):
+                self._finish_run(start_cycle, wall_start)
                 return self.cycle
             if self.cycle >= max_cycles:
+                self._finish_run(start_cycle, wall_start)
                 raise self._deadlock(
                     f"drain did not complete within {max_cycles} cycles "
                     f"({self.in_flight_packets()} packets in flight)"
@@ -530,6 +613,7 @@ class Engine:
                 and self.in_flight_packets() > 0
                 and self.cycle - self._last_progress >= watchdog
             ):
+                self._finish_run(start_cycle, wall_start)
                 raise self._deadlock(
                     f"no flit movement for {watchdog} cycles at cycle {self.cycle} "
                     f"during drain ({self.config.label()})"

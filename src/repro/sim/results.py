@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..errors import AnalysisError
+from ..obs.telemetry import RunTelemetry
 from .config import SimulationConfig
 
 
@@ -38,6 +39,9 @@ class RunResult:
         latency_sum / latency_max: over the latency sample set.
         latencies: per-packet samples when ``config.collect_latencies``.
         in_flight_at_end: packets still in the network when the run halted.
+        telemetry: provenance/performance record attached by the engine
+            when the run completes (config digest, seed, wall clock,
+            cycles/sec, peak in-flight); ``None`` for hand-built results.
     """
 
     config: SimulationConfig
@@ -55,6 +59,7 @@ class RunResult:
     #: (empty unless that option is set); trailing partial intervals are
     #: dropped
     throughput_timeline: list[int] = field(default_factory=list)
+    telemetry: RunTelemetry | None = None
 
     # -- §6 metrics -----------------------------------------------------------
 

@@ -27,8 +27,14 @@ from .engine import Engine
 from .results import RunResult
 
 
-def build_engine(config: SimulationConfig) -> Engine:
-    """Instantiate topology, routing, traffic and engine for a config."""
+def build_engine(config: SimulationConfig, probe=None) -> Engine:
+    """Instantiate topology, routing, traffic and engine for a config.
+
+    Args:
+        config: the run recipe.
+        probe: optional observability probe (:mod:`repro.obs`) attached
+            before the first cycle, so it sees the whole run.
+    """
     if config.network == "tree":
         topo = KAryNTree(config.k, config.n)
     else:
@@ -41,12 +47,19 @@ def build_engine(config: SimulationConfig) -> Engine:
         packet_flits=config.packet_flits,
         seed=config.seed,
     )
-    return Engine(topo, routing, injector, config)
+    engine = Engine(topo, routing, injector, config)
+    if probe is not None:
+        engine.attach_probe(probe)
+    return engine
 
 
-def simulate(config: SimulationConfig) -> RunResult:
-    """Run one simulation to completion and return its measurements."""
-    return build_engine(config).run()
+def simulate(config: SimulationConfig, probe=None) -> RunResult:
+    """Run one simulation to completion and return its measurements.
+
+    An optional ``probe`` (:mod:`repro.obs`) instruments the run; the
+    returned result always carries :class:`~repro.obs.telemetry.RunTelemetry`.
+    """
+    return build_engine(config, probe=probe).run()
 
 
 def tree_config(

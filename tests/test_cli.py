@@ -1,5 +1,7 @@
 """Unit tests for the command-line interface (repro.cli)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -131,6 +133,101 @@ class TestCommands:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestObservability:
+    RUN_ARGS = [
+        "run", "--network", "cube", "--k", "4", "--n", "2",
+        "--algorithm", "dor", "--load", "0.2", "--profile", "fast",
+    ]
+
+    def test_run_json_document(self, capsys):
+        assert main(self.RUN_ARGS + ["--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc) >= {"format", "config", "result", "telemetry"}
+        assert doc["config"]["load"] == 0.2
+        assert doc["result"]["delivered_packets"] > 0
+        assert doc["telemetry"]["cycles_per_sec"] > 0
+
+    def test_run_json_round_trips_through_io(self, capsys):
+        from repro.metrics.io import run_result_from_dict
+
+        assert main(self.RUN_ARGS + ["--json"]) == 0
+        result = run_result_from_dict(json.loads(capsys.readouterr().out))
+        assert result.telemetry is not None
+
+    def test_run_prints_telemetry_line(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        assert "cyc/s" in capsys.readouterr().out
+
+    def test_sweep_json_includes_telemetry(self, capsys):
+        from repro.experiments.sweep import clear_cache
+
+        clear_cache()  # cached points are not re-simulated, so no rate
+        code = main(
+            [
+                "sweep", "--network", "tree", "--k", "2", "--n", "2",
+                "--vcs", "2", "--profile", "fast", "--json",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        doc = json.loads(captured.out)
+        assert set(doc) == {"format", "series", "telemetry"}
+        assert doc["telemetry"]["points_simulated"] >= 1
+        assert doc["telemetry"]["mean_cycles_per_sec"] > 0
+        # live progress went to stderr, one line per point
+        assert "[1/" in captured.err
+
+    def test_trace_writes_chrome_loadable_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "--network", "tree", "--k", "2", "--n", "2",
+                "--vcs", "2", "--pattern", "transpose", "--load", "0.3",
+                "--profile", "fast", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases >= {"X", "M"}
+        assert "trace:" in capsys.readouterr().out
+
+    def test_trace_both_formats_and_counters(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        counters = tmp_path / "counters.json"
+        code = main(
+            [
+                "trace", "--network", "cube", "--k", "4", "--n", "2",
+                "--algorithm", "dor", "--load", "0.2", "--profile", "fast",
+                "--out", str(out), "--format", "both",
+                "--counters", str(counters), "--window", "100",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        jsonl = out.with_suffix(".jsonl")
+        assert jsonl.exists()
+        assert all(json.loads(line) for line in jsonl.read_text().splitlines())
+        cdoc = json.loads(counters.read_text())
+        assert cdoc["window_cycles"] == 100
+        assert cdoc["windows"]
+
+    def test_cprofile_smoke(self, capsys):
+        assert main(self.RUN_ARGS + ["--cprofile"]) == 0
+        captured = capsys.readouterr()
+        assert "accepted=" in captured.out
+        assert "cumulative" in captured.err  # pstats table on stderr
+
+    def test_cprofile_stats_file(self, tmp_path, capsys):
+        import pstats
+
+        stats = tmp_path / "run.pstats"
+        assert main(self.RUN_ARGS + ["--cprofile", str(stats)]) == 0
+        assert stats.exists()
+        pstats.Stats(str(stats))  # parseable profile dump
 
 
 class TestFaultsCommand:

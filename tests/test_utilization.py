@@ -40,10 +40,25 @@ class TestChannelLoads:
         assert loads == sorted(loads, key=lambda c: c.flits, reverse=True)
         assert all(0.0 <= c.utilization <= 1.0 for c in loads)
 
-    def test_flit_totals_match_engine_movement(self):
+    def test_measured_flit_totals_match_window_deliveries(self):
+        # the default window excludes warm-up traffic: ejected flits must
+        # equal the result's measurement-window delivery counter
         eng = run_cube()
         ejected = sum(c.flits for c in channel_loads(eng) if c.to_node)
+        assert ejected == eng.result.delivered_flits
+        assert ejected < eng.delivered_flits_total  # warm-up was excluded
+
+    def test_total_window_matches_engine_movement(self):
+        eng = run_cube()
+        ejected = sum(
+            c.flits for c in channel_loads(eng, window="total") if c.to_node
+        )
         assert ejected == eng.delivered_flits_total
+
+    def test_unknown_window_rejected(self):
+        eng = run_cube()
+        with pytest.raises(AnalysisError, match="window"):
+            channel_loads(eng, window="bogus")
 
     def test_idle_network_is_silent(self):
         eng = build_engine(cube_config(k=4, n=2, load=0.0, total_cycles=50, warmup_cycles=0))
