@@ -20,27 +20,27 @@ runs — the guard exists to catch an accidental rewrite that makes the
 overhead collapsing toward zero while off throughput craters, or as
 dispatch ballooning well past normal function-call cost).
 
-Usage::
+Results are also written as a versioned bench baseline document
+(``BENCH_obs.json`` at the repo root by default) in the same schema as
+``repro-net bench``, so the perf-regression gate can replay exactly
+these recipes later::
 
     PYTHONPATH=src python benchmarks/obs_overhead.py --repeats 3
+    PYTHONPATH=src python -m repro bench --compare BENCH_obs.json
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
-from repro.obs import MultiProbe, NullProbe, TraceProbe, WindowedCounterProbe
+from repro.obs import MultiProbe, TraceProbe, WindowedCounterProbe
+from repro.obs.bench import bench_document, measure_entry, save_baseline
 from repro.sim.run import cube_config, simulate, tree_config
 
-
-def best_rate(config, make_probe, repeats: int) -> float:
-    """Best-of-N cycles/sec (best-of defends against scheduler noise)."""
-    best = 0.0
-    for _ in range(repeats):
-        result = simulate(config, probe=make_probe())
-        best = max(best, result.telemetry.cycles_per_sec)
-    return best
+#: committed reference baseline, next to README at the repo root
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"
 
 
 def main(argv=None) -> int:
@@ -55,6 +55,9 @@ def main(argv=None) -> int:
                     help="max tolerated null-probe overhead fraction")
     ap.add_argument("--trace-out", default=None,
                     help="write the instrumented run's Chrome trace here")
+    ap.add_argument("--out", default=str(DEFAULT_OUT),
+                    help="bench baseline document to write (repro-net bench"
+                         " --compare consumes it); empty string disables")
     args = ap.parse_args(argv)
 
     common = dict(
@@ -66,28 +69,32 @@ def main(argv=None) -> int:
     else:
         config = tree_config(k=2, n=3, vcs=2, **common)
 
-    off = best_rate(config, lambda: None, args.repeats)
-    null = best_rate(config, NullProbe, args.repeats)
+    entries = [
+        measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
+        for spec in ("off", "null", "traced")
+    ]
+    rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
+    off = rates["off"]
 
-    tracer = TraceProbe()
-
-    def instrumented():
-        nonlocal tracer
-        tracer = TraceProbe()
-        return MultiProbe([tracer, WindowedCounterProbe(window_cycles=200)])
-
-    traced = best_rate(config, instrumented, args.repeats)
     if args.trace_out:
+        # measure_entry builds its probes internally; one extra
+        # instrumented run supplies the uploadable Chrome trace.
+        tracer = TraceProbe()
+        simulate(config, probe=MultiProbe(
+            [tracer, WindowedCounterProbe(window_cycles=200)]))
         tracer.write_chrome_trace(args.trace_out)
 
-    rows = [("off", off), ("null", null), ("traced", traced)]
     print(f"probe overhead, {args.network} {config.num_nodes} nodes, "
           f"load {args.load}, {args.cycles} cycles, best of {args.repeats}:")
-    for name, rate in rows:
+    for name, rate in rates.items():
         overhead = (off - rate) / off if off else 0.0
         print(f"  {name:<7} {rate:>12,.0f} cyc/s   overhead {overhead:+7.1%}")
 
-    null_overhead = (off - null) / off if off else 0.0
+    if args.out:
+        save_baseline(bench_document(entries, repeats=args.repeats), args.out)
+        print(f"baseline -> {args.out}")
+
+    null_overhead = (off - rates["null"]) / off if off else 0.0
     if null_overhead > args.threshold:
         print(
             f"FAIL: null-probe overhead {null_overhead:.1%} exceeds "

@@ -42,6 +42,7 @@ from .faults import (
     validate_escape_connectivity,
 )
 from .obs import (
+    Ledger,
     MultiProbe,
     NullProbe,
     Probe,
@@ -49,6 +50,7 @@ from .obs import (
     TraceProbe,
     WindowedCounterProbe,
     config_digest,
+    write_scorecard,
 )
 from .profiles import DEFAULT, FAST, FULL, Profile, get_profile
 from .sim.config import SimulationConfig
@@ -106,6 +108,7 @@ __all__ = [
     "validate_escape_connectivity",
     "Trace",
     "run_trace",
+    "Ledger",
     "MultiProbe",
     "NullProbe",
     "Probe",
@@ -113,5 +116,6 @@ __all__ = [
     "TraceProbe",
     "WindowedCounterProbe",
     "config_digest",
+    "write_scorecard",
     "__version__",
 ]

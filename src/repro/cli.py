@@ -15,17 +15,28 @@ Subcommands:
 * ``faults`` — fault-degradation experiments on either network (add
   ``--transient`` for a mid-run fail/repair window with a throughput
   timeline);
+* ``report`` — render the HTML reproduction scorecard (paper-reference
+  overlays + fidelity scores) from a ``--ledger`` JSONL file;
+* ``bench`` — record an engine performance baseline
+  (``BENCH_<host>.json``: cycles/sec overall and per step phase, probes
+  off/on) or ``--compare`` against one (exit 3 on regression);
 * ``find-sat`` — bisect the offered load for the saturation point;
 * ``dimensions`` — the cube-dimensionality study (§11 outlook);
 * ``info`` — topology/normalization facts for a network.
 
 ``--cprofile`` (on ``run``, ``sweep`` and ``trace``) wraps the command
 in :mod:`cProfile`; note ``--profile`` keeps its historical meaning of
-the simulation *effort* profile (fast/default/full).
+the simulation *effort* profile (fast/default/full).  ``--ledger`` (on
+``run``, ``sweep``, ``trace`` and ``faults``) appends every completed
+run's document to an append-only JSONL metrics ledger that ``report``
+renders into a scorecard.
 
 Examples::
 
     repro-net run --network cube --algorithm duato --load 0.5 --json
+    repro-net sweep --pattern uniform --ledger runs.jsonl
+    repro-net report --ledger runs.jsonl --out scorecard.html
+    repro-net bench && repro-net bench --compare BENCH_$(hostname).json
     repro-net trace --network tree --vcs 2 --pattern transpose --load 0.8
     repro-net fig6 --pattern complement --profile fast --plot
     repro-net drain --network tree --pattern bitrev
@@ -80,11 +91,21 @@ def _add_common(p: argparse.ArgumentParser, with_algo: bool = True) -> None:
 
 
 def _add_observability(p: argparse.ArgumentParser) -> None:
-    """Machine output and CPU-profiling flags shared by run/sweep."""
+    """Machine output, ledger and CPU-profiling flags shared by
+    run/sweep/trace."""
     p.add_argument(
         "--json",
         action="store_true",
         help="emit a versioned machine-readable JSON document (with telemetry)",
+    )
+    p.add_argument(
+        "--ledger",
+        default=None,
+        metavar="JSONL",
+        help=(
+            "append every completed run's versioned document to this JSONL "
+            "metrics ledger (deduplicated by config digest + seed)"
+        ),
     )
     p.add_argument(
         "--cprofile",
@@ -98,6 +119,16 @@ def _add_observability(p: argparse.ArgumentParser) -> None:
             "simulation effort profile)"
         ),
     )
+
+
+def _open_ledger(args):
+    """The Ledger named by ``--ledger``, or None."""
+    path = getattr(args, "ledger", None)
+    if path is None:
+        return None
+    from .obs.ledger import Ledger
+
+    return Ledger(path)
 
 
 def _make_config(args, load: float):
@@ -147,6 +178,9 @@ def _with_cprofile(args, body):
 def cmd_run(args) -> int:
     def body() -> int:
         result = simulate(_make_config(args, args.load))
+        ledger = _open_ledger(args)
+        if ledger is not None:
+            ledger.append_run(result, kind="run")
         if args.json:
             from .metrics.io import run_result_to_dict
 
@@ -155,6 +189,7 @@ def cmd_run(args) -> int:
             print(result.summary())
             if result.telemetry is not None:
                 print(result.telemetry.summary())
+                print(result.telemetry.phase_summary())
         return 0
 
     return _with_cprofile(args, body)
@@ -192,23 +227,14 @@ def cmd_sweep(args) -> int:
             loads,
             label=args.pattern,
             progress=progress,
+            ledger=_open_ledger(args),
         )
         from .metrics.saturation import saturation_point
 
         if args.json:
-            from .metrics.io import FORMAT_VERSION, series_to_dict
+            from .metrics.io import sweep_document
 
-            doc = {
-                "format": FORMAT_VERSION,
-                "series": series_to_dict(series),
-                "telemetry": {
-                    "points_simulated": len(telemetry),
-                    "mean_cycles_per_sec": (
-                        sum(telemetry) / len(telemetry) if telemetry else None
-                    ),
-                },
-            }
-            print(json.dumps(doc, indent=1))
+            print(json.dumps(sweep_document(series, telemetry), indent=1))
             return 0
 
         from .experiments.report import render_table
@@ -248,6 +274,10 @@ def cmd_trace(args) -> int:
             deadlocked = exc
             result = engine.result
 
+        ledger = _open_ledger(args)
+        if ledger is not None:
+            ledger.append_run(result, kind="trace")
+
         out = pathlib.Path(args.out)
         written = []
         if args.format in ("chrome", "both"):
@@ -263,9 +293,24 @@ def cmd_trace(args) -> int:
             )
             written.append(args.counters)
 
+        if args.json:
+            from .metrics.io import run_result_to_dict
+
+            doc = run_result_to_dict(result)
+            doc["trace"] = {
+                "events": len(tracer.events),
+                "truncated": tracer.truncated,
+                "counter_windows": len(counters.windows),
+                "written": written,
+                "deadlock": str(deadlocked) if deadlocked is not None else None,
+            }
+            print(json.dumps(doc, indent=1))
+            return 1 if deadlocked is not None else 0
+
         print(result.summary())
         if result.telemetry is not None:
             print(result.telemetry.summary())
+            print(result.telemetry.phase_summary())
         print(
             f"trace: {len(tracer.events)} events"
             + (" (truncated)" if tracer.truncated else "")
@@ -372,6 +417,7 @@ def cmd_faults(args) -> int:
     from .experiments.report import render_table
 
     profile = get_profile(args.profile)
+    ledger = _open_ledger(args)
     if args.transient:
         result, row = transient_experiment(
             network=args.network,
@@ -386,6 +432,7 @@ def cmd_faults(args) -> int:
             k=args.k,
             n=args.n,
             algorithm=getattr(args, "algorithm", None),
+            ledger=ledger,
         )
         print(result.summary())
         print(f"faults: {row.faults} channel directions failed mid-run, then repaired")
@@ -411,6 +458,7 @@ def cmd_faults(args) -> int:
         k=args.k,
         n=args.n,
         algorithm=getattr(args, "algorithm", None),
+        ledger=ledger,
     )
     print(
         render_table(
@@ -428,6 +476,87 @@ def cmd_faults(args) -> int:
             title=f"{args.network} fault degradation, load {args.load:g}",
         )
     )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .obs.ledger import Ledger
+    from .obs.report import write_scorecard
+
+    ledger = Ledger(args.ledger)
+    records = [
+        rec
+        for rec in ledger.records()
+        if args.include_faults or rec["kind"] != "faults"
+    ]
+    from .metrics.io import run_result_from_dict
+
+    results = [run_result_from_dict(rec["run"]) for rec in records]
+    if not results:
+        raise ConfigurationError(
+            f"ledger {args.ledger} holds no scorable runs "
+            "(fault records are excluded unless --include-faults)"
+        )
+    figures = write_scorecard(results, args.out, title=args.title, tol=args.tol)
+    print(f"scorecard: {len(results)} runs -> {len(figures)} figure(s) -> {args.out}")
+    for fig in figures:
+        if fig.score is None:
+            print(f"  {fig.title}: no paper reference (unscored)")
+        else:
+            print(f"  {fig.title}: fidelity {fig.score:.0%}")
+            for label, score in sorted(fig.fidelity.items()):
+                ref = fig.refs[label]
+                print(
+                    f"    {label}: saturation {fig.saturation[label]:.3f} "
+                    f"vs {ref.figure} {ref.saturation:.3f} -> {score:.0%}"
+                )
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from .obs.bench import (
+        REGRESSION_EXIT_CODE,
+        compare,
+        default_baseline_path,
+        load_baseline,
+        remeasure,
+        run_bench,
+        save_baseline,
+    )
+
+    if args.compare is None:
+        doc = run_bench(repeats=args.repeats or 3, cycles=args.cycles)
+        out = args.out or default_baseline_path()
+        save_baseline(doc, out)
+        print(f"bench baseline ({doc['host']}, python {doc['python']}) -> {out}")
+        for entry in doc["entries"]:
+            from .obs.telemetry import RunTelemetry
+
+            t = RunTelemetry.from_dict(entry["telemetry"])
+            print(f"  {entry['name']:<12} {entry['cycles_per_sec']:>12,.0f} cyc/s   "
+                  f"{t.phase_summary()}")
+        return 0
+
+    baseline = load_baseline(args.compare)
+    current = remeasure(baseline, repeats=args.repeats)
+    if args.out:
+        from .obs.bench import bench_document
+
+        save_baseline(
+            bench_document(current, args.repeats or baseline.get("repeats", 3)),
+            args.out,
+        )
+    findings = compare(baseline, current, threshold=args.threshold)
+    for base, cur in zip(baseline["entries"], current):
+        print(f"  {base['name']:<12} baseline {base['cycles_per_sec']:>12,.0f} "
+              f"cyc/s   now {cur['cycles_per_sec']:>12,.0f} cyc/s")
+    if findings:
+        print(f"PERF REGRESSION vs {args.compare} (threshold {args.threshold:.0%}):",
+              file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+        return REGRESSION_EXIT_CODE
+    print(f"ok: no entry slower than baseline by more than {args.threshold:.0%}")
     return 0
 
 
@@ -510,14 +639,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="trace event cap (the trace is marked truncated past it)",
     )
-    p.add_argument(
-        "--cprofile",
-        nargs="?",
-        const="-",
-        default=None,
-        metavar="STATS",
-        help="profile under cProfile (optional pstats dump path)",
-    )
+    _add_observability(p)
     p.set_defaults(func=cmd_trace)
 
     for name, func, help_ in (
@@ -558,7 +680,64 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fraction", type=float, default=0.1, help="fault fraction for --transient")
     p.add_argument("--fail-at", type=int, default=None, help="fault strike cycle")
     p.add_argument("--repair-at", type=int, default=None, help="fault repair cycle")
+    p.add_argument(
+        "--ledger",
+        default=None,
+        metavar="JSONL",
+        help="append every fault run's document to this JSONL metrics ledger",
+    )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "report",
+        help="render the HTML reproduction scorecard from a metrics ledger",
+    )
+    p.add_argument("--ledger", required=True, metavar="JSONL", help="ledger to score")
+    p.add_argument("--out", default="scorecard.html", help="output HTML path")
+    p.add_argument("--title", default="Reproduction scorecard")
+    p.add_argument(
+        "--tol",
+        type=float,
+        default=0.05,
+        help="saturation-detection tolerance (fraction)",
+    )
+    p.add_argument(
+        "--include-faults",
+        action="store_true",
+        help="also plot runs recorded by fault experiments (degraded points)",
+    )
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench",
+        help="record or compare an engine performance baseline",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="JSON",
+        help="baseline output path (default BENCH_<host>.json when recording)",
+    )
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "re-measure the recipes in this baseline and exit 3 when any "
+            "entry regressed past the threshold"
+        ),
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="tolerated slowdown fraction before failing (default 0.15)",
+    )
+    p.add_argument("--repeats", type=int, default=None,
+                   help="runs per entry; best-of is kept (default 3 / baseline's)")
+    p.add_argument("--cycles", type=int, default=2000,
+                   help="cycles per suite run when recording a new baseline")
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("find-sat", help="bisect the saturation point")
     _add_common(p)

@@ -132,13 +132,16 @@ def degradation_experiment(
     k: int | None = None,
     n: int | None = None,
     algorithm: str | None = None,
+    ledger=None,
 ) -> list[DegradationRow]:
     """Measure throughput under growing permanent fault fractions.
 
     Each fraction gets a fresh engine (identical traffic seed) with
     ``round(fraction · population)`` random channel faults injected
     before the run; the engine is audited afterwards, so a fault-induced
-    invariant violation fails loudly rather than skewing a row.
+    invariant violation fails loudly rather than skewing a row.  An
+    optional :class:`~repro.obs.ledger.Ledger` receives every completed
+    run as a ``"faults"`` record.
     """
     profile = profile or get_profile()
     rows = []
@@ -152,6 +155,10 @@ def degradation_experiment(
         _draw_and_inject(engine, network, count, fault_seed)
         result = engine.run()
         engine.audit()
+        if ledger is not None:
+            # every fraction runs the *same* recipe (faults are injected
+            # outside the config), so digest+seed dedup must be off
+            ledger.append_run(result, kind="faults", dedup=False)
         rows.append(_row(engine, result, fraction, count))
     return rows
 
@@ -170,6 +177,7 @@ def transient_experiment(
     n: int | None = None,
     algorithm: str | None = None,
     interval_cycles: int | None = None,
+    ledger=None,
 ) -> tuple[RunResult, DegradationRow]:
     """One run with a mid-run fault window: fail at T, repair at T'.
 
@@ -210,4 +218,6 @@ def transient_experiment(
         schedule.install(engine)
     result = engine.run()
     engine.audit()
+    if ledger is not None:
+        ledger.append_run(result, kind="faults", dedup=False)
     return result, _row(engine, result, fraction, count)

@@ -23,7 +23,8 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = 
             return "-"
         if isinstance(v, float):
             return f"{v:.3f}"
-        return str(v)
+        # a literal | in a cell would split the markdown column
+        return str(v).replace("|", "\\|")
 
     cells = [[fmt(v) for v in row] for row in rows]
     widths = [

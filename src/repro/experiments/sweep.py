@@ -269,6 +269,7 @@ def run_sweep(
     record_failures: bool = False,
     cache: RunCache | None = None,
     progress: Callable[[PointProgress], None] | None = None,
+    ledger=None,
 ) -> LoadSweepSeries:
     """Run one configuration over a load grid.
 
@@ -289,6 +290,10 @@ def run_sweep(
             persisted atomically and reloaded on the next campaign.
         progress: optional live-telemetry sink; called once per finished
             point with a :class:`PointProgress` (cached hits included).
+        ledger: optional :class:`~repro.obs.ledger.Ledger`; every point
+            that produced a result (cached hits included) is appended as
+            a ``"sweep"`` record, deduplicated by config digest + seed,
+            so repeated campaigns accrete one durable results file.
     """
     if not loads:
         raise ConfigurationError("empty load grid")
@@ -339,6 +344,8 @@ def run_sweep(
                 _CACHE[key] = result
         if result is not None:
             series.add(result)
+            if ledger is not None:
+                ledger.append_run(result, kind="sweep")
             report(config, "cached")
         else:
             pending.append(config)
@@ -353,6 +360,8 @@ def run_sweep(
                 if cache is not None:
                     cache.put(_cache_key(result.config), result)
             series.add(result)
+            if ledger is not None:
+                ledger.append_run(result, kind="sweep")
             report(config, "ok", result)
         else:
             if not record_failures:
@@ -370,6 +379,8 @@ def run_sweep(
             key = _cache_key(config)
             if use_cache and key in _CACHE:  # duplicate earlier in this grid
                 series.add(_CACHE[key])
+                if ledger is not None:
+                    ledger.append_run(_CACHE[key], kind="sweep")
                 report(config, "cached")
                 continue
             consume(config, _point_task(config, retries=retries, timeout=timeout))

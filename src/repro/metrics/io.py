@@ -174,6 +174,24 @@ def series_from_dict(doc: dict) -> LoadSweepSeries:
     return series
 
 
+def sweep_document(series: LoadSweepSeries, point_rates: list[float] | None = None) -> dict:
+    """Versioned machine document for one sweep (``repro-net sweep --json``).
+
+    ``point_rates`` are the per-point engine cycles/sec figures collected
+    from the campaign's live telemetry; the document summarizes them so a
+    consumer can judge the measurement cost next to the measurement.
+    """
+    rates = point_rates or []
+    return {
+        "format": FORMAT_VERSION,
+        "series": series_to_dict(series),
+        "telemetry": {
+            "points_simulated": len(rates),
+            "mean_cycles_per_sec": sum(rates) / len(rates) if rates else None,
+        },
+    }
+
+
 def cnf_to_dict(result: CNFResult) -> dict:
     return {
         "format": FORMAT_VERSION,

@@ -17,26 +17,94 @@ uninstrumented runs:
   measurement window.
 * :mod:`repro.obs.telemetry` — :class:`RunTelemetry`: the provenance and
   performance record (config digest, seed, wall clock, cycles/sec, peak
-  in-flight) attached to every :class:`~repro.sim.results.RunResult`.
+  in-flight, per-phase wall-time split) attached to every
+  :class:`~repro.sim.results.RunResult`.
+
+On top of the per-run signals sits the aggregation tier:
+
+* :mod:`repro.obs.ledger` — :class:`Ledger`: the append-only JSONL
+  results store every ``--ledger`` CLI invocation feeds, queryable by
+  config digest / network / pattern / time window, deduplicated by
+  recipe digest + seed.
+* :mod:`repro.obs.report` — the HTML reproduction scorecard: ledger
+  curves rendered as inline SVG with the paper's Figure 5/6 saturation
+  points overlaid and a per-figure fidelity score.
+* :mod:`repro.obs.bench` — engine performance baselines
+  (``BENCH_<host>.json``) and the ``bench --compare`` regression gate
+  over overall and per-phase cycles/sec.
 
 CLI entry points: ``repro-net trace`` for instrumented single runs,
-``repro-net run/sweep --json`` for machine-readable results including
-telemetry, and ``benchmarks/obs_overhead.py`` for the probe-overhead
-smoke benchmark CI runs on every push.
+``repro-net run/sweep/trace --json`` for machine-readable results
+including telemetry, ``--ledger`` on run/sweep/trace/faults for durable
+result capture, ``repro-net report`` for the scorecard, ``repro-net
+bench`` for the perf gate, and ``benchmarks/obs_overhead.py`` for the
+probe-overhead smoke benchmark CI runs on every push.
 """
 
 from .counters import CounterWindow, DirectionWindow, WindowedCounterProbe
 from .probe import MultiProbe, NullProbe, Probe
-from .telemetry import RunTelemetry, config_digest
+from .telemetry import PHASE_NAMES, RunTelemetry, config_digest
 from .trace import EVENT_KINDS, TraceEvent, TraceProbe
 
+# The aggregation tier (ledger/report/bench) sits *above* the simulation
+# layer, while the probe/telemetry leaves sit *below* it (the engine
+# imports repro.obs.telemetry).  Importing the tier eagerly here would
+# close a cycle engine -> obs -> bench -> sim.run -> engine, so its names
+# resolve lazily on first attribute access (PEP 562).
+_LAZY = {
+    "BENCH_FORMAT_VERSION": "bench",
+    "REGRESSION_EXIT_CODE": "bench",
+    "compare": "bench",
+    "load_baseline": "bench",
+    "run_bench": "bench",
+    "save_baseline": "bench",
+    "LEDGER_FORMAT_VERSION": "ledger",
+    "Ledger": "ledger",
+    "ledger_record": "ledger",
+    "PaperRef": "report",
+    "ScorecardFigure": "report",
+    "figures_from_results": "report",
+    "paper_reference": "report",
+    "render_scorecard": "report",
+    "write_scorecard": "report",
+}
+
+
+def __getattr__(name: str):
+    module = _LAZY.get(name)
+    if module is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(f".{module}", __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(set(__all__) | set(globals()))
+
 __all__ = [
+    "BENCH_FORMAT_VERSION",
+    "REGRESSION_EXIT_CODE",
+    "compare",
+    "load_baseline",
+    "run_bench",
+    "save_baseline",
     "CounterWindow",
     "DirectionWindow",
     "WindowedCounterProbe",
+    "LEDGER_FORMAT_VERSION",
+    "Ledger",
+    "ledger_record",
     "MultiProbe",
     "NullProbe",
     "Probe",
+    "PaperRef",
+    "ScorecardFigure",
+    "figures_from_results",
+    "paper_reference",
+    "render_scorecard",
+    "write_scorecard",
+    "PHASE_NAMES",
     "RunTelemetry",
     "config_digest",
     "EVENT_KINDS",

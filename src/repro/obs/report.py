@@ -1,0 +1,460 @@
+"""HTML reproduction scorecard: our curves against the paper's figures.
+
+Ledger or sweep data in, one self-contained HTML file out — no external
+assets, no plotting dependencies, just stdlib string assembly of inline
+SVG.  Each *figure* (one network/shape/pattern group) renders as a
+side-by-side pair of panels inside a single ``<svg>``: accepted
+bandwidth vs offered load (the CNF bandwidth graph) and average latency
+vs offered load, one curve per routing/VC variant, exactly the panel
+layout of the paper's Figures 5 and 6.
+
+Where a measured series corresponds to a configuration the paper
+reports, the hard-coded reference saturation point (from §8/§9) is
+overlaid as a dashed vertical marker and the scorecard computes a
+**fidelity score** — ``1 − |sat_measured − sat_paper| / sat_paper``,
+clamped at zero — per series and per figure.  The summary table at the
+top of the page is the reproduction health dashboard: a fidelity dip
+after a code change flags a behavioural regression the unit tests may
+not see.
+
+Typical use::
+
+    repro-net sweep --network tree --pattern uniform --ledger runs.jsonl
+    repro-net report --ledger runs.jsonl --out scorecard.html
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..metrics.saturation import DEFAULT_TOLERANCE, saturation_point
+from ..metrics.series import LoadSweepSeries
+from ..sim.results import RunResult
+
+#: Okabe–Ito colour-blind-safe palette, cycled across series
+_PALETTE = ("#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9")
+
+
+@dataclass(frozen=True)
+class PaperRef:
+    """One paper-reported operating point for a specific configuration.
+
+    Attributes:
+        figure: the source figure, e.g. ``"Fig 5"``.
+        saturation: saturation load as a fraction of capacity.
+        latency_presat: pre-saturation latency plateau in cycles, where
+            the paper quotes one (``None`` otherwise).
+    """
+
+    figure: str
+    saturation: float
+    latency_presat: float | None = None
+
+
+#: Figure 5 (§8): 4-ary 4-tree, adaptive routing — (pattern, vcs) -> saturation
+_FIG5_SATURATION = {
+    ("uniform", 1): 0.36,
+    ("uniform", 2): 0.55,
+    ("uniform", 4): 0.72,
+    ("complement", 1): 0.95,
+    ("complement", 2): 0.95,
+    ("complement", 4): 0.95,
+    ("transpose", 1): 0.33,
+    ("transpose", 2): 0.60,
+    ("transpose", 4): 0.78,
+    ("bitrev", 1): 0.33,
+    ("bitrev", 2): 0.60,
+    ("bitrev", 4): 0.78,
+}
+
+#: Figure 6 (§9): 16-ary 2-cube, 4 VCs — (pattern, algorithm) -> saturation
+_FIG6_SATURATION = {
+    ("uniform", "dor"): 0.60,
+    ("uniform", "duato"): 0.80,
+    ("complement", "dor"): 0.47,
+    ("complement", "duato"): 0.35,
+    ("transpose", "dor"): 0.22,
+    ("transpose", "duato"): 0.50,
+    ("bitrev", "dor"): 0.20,
+    ("bitrev", "duato"): 0.60,
+}
+
+#: §9 quotes ≈70 cycles of pre-saturation latency for the uniform cube
+_FIG6_LATENCY_PRESAT = {("uniform", "dor"): 70.0, ("uniform", "duato"): 70.0}
+
+
+def paper_reference(
+    network: str, k: int, n: int, algorithm: str, vcs: int, pattern: str
+) -> PaperRef | None:
+    """The paper's reference point for one exact configuration, if any.
+
+    Only the paper's own networks carry references: the 4-ary 4-tree
+    under adaptive routing (Figure 5, keyed by VC count) and the 16-ary
+    2-cube with 4 VCs (Figure 6, keyed by algorithm).  Everything else —
+    extension patterns, other shapes — renders without an overlay.
+    """
+    if network == "tree" and (k, n) == (4, 4) and algorithm == "tree_adaptive":
+        sat = _FIG5_SATURATION.get((pattern, vcs))
+        if sat is not None:
+            return PaperRef(figure="Fig 5", saturation=sat)
+    if network == "cube" and (k, n) == (16, 2) and vcs == 4:
+        sat = _FIG6_SATURATION.get((pattern, algorithm))
+        if sat is not None:
+            return PaperRef(
+                figure="Fig 6",
+                saturation=sat,
+                latency_presat=_FIG6_LATENCY_PRESAT.get((pattern, algorithm)),
+            )
+    return None
+
+
+@dataclass
+class ScorecardFigure:
+    """One rendered figure: all curves sharing a network shape + pattern.
+
+    Attributes:
+        title: heading, e.g. ``"tree 4-ary 4-dim, uniform traffic"``.
+        series: one sweep series per routing/VC variant, each labelled.
+        refs: label -> :class:`PaperRef` for series the paper reports.
+        saturation: label -> measured saturation point.
+        fidelity: label -> fidelity score in [0, 1] (referenced series
+            only).
+    """
+
+    title: str
+    series: list[LoadSweepSeries] = field(default_factory=list)
+    refs: dict[str, PaperRef] = field(default_factory=dict)
+    saturation: dict[str, float] = field(default_factory=dict)
+    fidelity: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def score(self) -> float | None:
+        """Mean fidelity over the referenced series (None if none)."""
+        if not self.fidelity:
+            return None
+        return sum(self.fidelity.values()) / len(self.fidelity)
+
+
+def _series_label(algorithm: str, vcs: int) -> str:
+    return f"{algorithm}, {vcs} vc"
+
+
+def figures_from_results(
+    results: list[RunResult], tol: float = DEFAULT_TOLERANCE
+) -> list[ScorecardFigure]:
+    """Group raw runs into scorecard figures with fidelity scores.
+
+    Runs sharing (network, k, n, pattern) land in one figure; within it,
+    each (algorithm, vcs) variant becomes one curve sorted by offered
+    load.  Duplicate recipes (same load, different seeds) all plot —
+    scatter is information, not noise.
+
+    Raises:
+        AnalysisError: when ``results`` is empty.
+    """
+    if not results:
+        raise AnalysisError("no runs to score: the ledger matched nothing")
+    groups: dict[tuple, dict[tuple, LoadSweepSeries]] = {}
+    for result in results:
+        c = result.config
+        fig_key = (c.network, c.k, c.n, c.pattern)
+        curves = groups.setdefault(fig_key, {})
+        curve_key = (c.algorithm, c.vcs)
+        series = curves.get(curve_key)
+        if series is None:
+            series = LoadSweepSeries(
+                label=_series_label(c.algorithm, c.vcs),
+                network=c.network,
+                algorithm=c.algorithm,
+                vcs=c.vcs,
+                pattern=c.pattern,
+            )
+            curves[curve_key] = series
+        series.add(result)
+
+    figures = []
+    for (network, k, n, pattern), curves in sorted(groups.items()):
+        fig = ScorecardFigure(title=f"{network} {k}-ary {n}-dim, {pattern} traffic")
+        for (algorithm, vcs), series in sorted(curves.items()):
+            fig.series.append(series)
+            sat = saturation_point(series, tol)
+            fig.saturation[series.label] = sat
+            ref = paper_reference(network, k, n, algorithm, vcs, pattern)
+            if ref is not None:
+                fig.refs[series.label] = ref
+                err = abs(sat - ref.saturation) / ref.saturation
+                fig.fidelity[series.label] = max(0.0, 1.0 - err)
+        figures.append(fig)
+    return figures
+
+
+# -- SVG assembly ----------------------------------------------------------------
+
+#: panel geometry (one figure = two panels in a single <svg>)
+_PANEL_W, _PANEL_H = 340, 230
+_MARGIN_L, _MARGIN_T = 64, 30
+_PANEL_GAP = 120
+_SVG_W = _MARGIN_L + 2 * _PANEL_W + _PANEL_GAP + 30
+_SVG_H = _MARGIN_T + _PANEL_H + 60
+
+
+def _fmt(value: float) -> str:
+    """Short, locale-free coordinate/tick formatting."""
+    return f"{value:.4g}"
+
+
+class _Panel:
+    """Maps data coordinates into one panel's SVG pixel box."""
+
+    def __init__(self, x0: float, x1: float, y0: float, y1: float, left: float):
+        self.x0, self.x1 = x0, x1 or 1.0
+        self.y0, self.y1 = y0, y1 or 1.0
+        self.left = left
+
+    def x(self, v: float) -> float:
+        span = (self.x1 - self.x0) or 1.0
+        return self.left + (v - self.x0) / span * _PANEL_W
+
+    def y(self, v: float) -> float:
+        span = (self.y1 - self.y0) or 1.0
+        return _MARGIN_T + _PANEL_H - (v - self.y0) / span * _PANEL_H
+
+    def frame(self, title: str, xlabel: str, ylabel: str) -> list[str]:
+        top, bottom = _MARGIN_T, _MARGIN_T + _PANEL_H
+        right = self.left + _PANEL_W
+        parts = [
+            f'<rect x="{self.left}" y="{top}" width="{_PANEL_W}" height="{_PANEL_H}" '
+            f'class="panel"/>',
+            f'<text x="{self.left + _PANEL_W / 2}" y="{top - 10}" class="ptitle">'
+            f"{html.escape(title)}</text>",
+            f'<text x="{self.left + _PANEL_W / 2}" y="{bottom + 36}" class="axis">'
+            f"{html.escape(xlabel)}</text>",
+            f'<text x="{self.left - 48}" y="{top + _PANEL_H / 2}" class="axis" '
+            f'transform="rotate(-90 {self.left - 48} {top + _PANEL_H / 2})">'
+            f"{html.escape(ylabel)}</text>",
+        ]
+        for frac in (0.0, 0.5, 1.0):
+            xv = self.x0 + frac * (self.x1 - self.x0)
+            yv = self.y0 + frac * (self.y1 - self.y0)
+            px, py = self.x(xv), self.y(yv)
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" y2="{bottom}" class="grid"/>'
+            )
+            parts.append(
+                f'<line x1="{self.left}" y1="{py:.1f}" x2="{right}" y2="{py:.1f}" class="grid"/>'
+            )
+            parts.append(
+                f'<text x="{px:.1f}" y="{bottom + 16}" class="tick">{_fmt(xv)}</text>'
+            )
+            parts.append(
+                f'<text x="{self.left - 6}" y="{py + 4:.1f}" class="tick ylab">{_fmt(yv)}</text>'
+            )
+        return parts
+
+    def polyline(self, pts: list[tuple[float, float]], color: str) -> list[str]:
+        if not pts:
+            return []
+        coords = " ".join(f"{self.x(x):.1f},{self.y(y):.1f}" for x, y in pts)
+        parts = []
+        if len(pts) > 1:
+            parts.append(f'<polyline points="{coords}" class="curve" stroke="{color}"/>')
+        parts.extend(
+            f'<circle cx="{self.x(x):.1f}" cy="{self.y(y):.1f}" r="2.6" fill="{color}"/>'
+            for x, y in pts
+        )
+        return parts
+
+    def vline(self, xv: float, color: str, label: str) -> list[str]:
+        px = self.x(xv)
+        return [
+            f'<line x1="{px:.1f}" y1="{_MARGIN_T}" x2="{px:.1f}" '
+            f'y2="{_MARGIN_T + _PANEL_H}" class="ref" stroke="{color}"/>',
+            f'<text x="{px:.1f}" y="{_MARGIN_T + 12}" class="reftext" fill="{color}">'
+            f"{html.escape(label)}</text>",
+        ]
+
+    def hline(self, yv: float, color: str, label: str) -> list[str]:
+        py = self.y(yv)
+        right = self.left + _PANEL_W
+        return [
+            f'<line x1="{self.left}" y1="{py:.1f}" x2="{right}" y2="{py:.1f}" '
+            f'class="ref" stroke="{color}"/>',
+            f'<text x="{right - 4}" y="{py - 4:.1f}" class="reftext anchor-end" '
+            f'fill="{color}">{html.escape(label)}</text>',
+        ]
+
+
+def _figure_svg(fig: ScorecardFigure) -> str:
+    """One figure as a single standalone ``<svg>`` (two panels)."""
+    xs = [p.offered for s in fig.series for p in s.points]
+    bw = [max(p.accepted, p.offered_measured) for s in fig.series for p in s.points]
+    lat = [p.latency_cycles for s in fig.series for p in s.points if p.latency_cycles]
+    ref_sats = [r.saturation for r in fig.refs.values()]
+    ref_lats = [r.latency_presat for r in fig.refs.values() if r.latency_presat]
+    x_hi = max(xs + ref_sats) * 1.05
+    bw_hi = max(bw + ref_sats) * 1.1
+    lat_hi = max(lat + ref_lats) * 1.1 if (lat or ref_lats) else 1.0
+
+    left_b = _Panel(0.0, x_hi, 0.0, bw_hi, _MARGIN_L)
+    left_l = _Panel(0.0, x_hi, 0.0, lat_hi, _MARGIN_L + _PANEL_W + _PANEL_GAP)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {_SVG_W} {_SVG_H}" '
+        f'width="{_SVG_W}" height="{_SVG_H}" role="img">'
+    ]
+    parts += left_b.frame("accepted bandwidth", "offered (fraction of capacity)",
+                          "accepted (fraction)")
+    parts += left_l.frame("network latency", "offered (fraction of capacity)",
+                          "latency (cycles)")
+    for i, series in enumerate(fig.series):
+        color = _PALETTE[i % len(_PALETTE)]
+        parts += left_b.polyline(
+            [(p.offered, p.accepted) for p in series.points], color
+        )
+        parts += left_l.polyline(
+            [
+                (p.offered, p.latency_cycles)
+                for p in series.points
+                if p.latency_cycles is not None
+            ],
+            color,
+        )
+        ref = fig.refs.get(series.label)
+        if ref is not None:
+            parts += left_b.vline(
+                ref.saturation, color, f"paper {_fmt(ref.saturation)}"
+            )
+            if ref.latency_presat is not None:
+                parts += left_l.hline(
+                    ref.latency_presat, color, f"paper ≈{_fmt(ref.latency_presat)}"
+                )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 960px;
+       color: #1a1a2e; background: #fff; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2.2rem; }
+table { border-collapse: collapse; margin: 1rem 0; width: 100%; }
+th, td { border-bottom: 1px solid #d7d7e0; padding: .35rem .6rem; text-align: left; }
+th { background: #f4f4f8; }
+td.num { font-variant-numeric: tabular-nums; text-align: right; }
+.good { color: #00705f; font-weight: 600; }
+.warn { color: #9a4a00; font-weight: 600; }
+.bad  { color: #a02020; font-weight: 600; }
+.muted { color: #777; }
+svg { display: block; margin: .6rem 0 0; }
+svg .panel { fill: none; stroke: #444; stroke-width: 1; }
+svg .grid { stroke: #e4e4ec; stroke-width: 1; }
+svg .curve { fill: none; stroke-width: 1.8; }
+svg .ref { stroke-dasharray: 5 4; stroke-width: 1.4; opacity: .85; }
+svg .reftext { font: 10px system-ui, sans-serif; text-anchor: middle; }
+svg .anchor-end { text-anchor: end; }
+svg .ptitle { font: 600 12px system-ui, sans-serif; text-anchor: middle; }
+svg .axis { font: 11px system-ui, sans-serif; text-anchor: middle; fill: #444; }
+svg .tick { font: 10px system-ui, sans-serif; text-anchor: middle; fill: #666; }
+svg .ylab { text-anchor: end; }
+.legend span { display: inline-block; margin-right: 1.2rem; }
+.swatch { display: inline-block; width: .8em; height: .8em; border-radius: 2px;
+          margin-right: .35em; vertical-align: -1px; }
+"""
+
+
+def _fidelity_class(score: float) -> str:
+    if score >= 0.9:
+        return "good"
+    if score >= 0.7:
+        return "warn"
+    return "bad"
+
+
+def _summary_table(figures: list[ScorecardFigure]) -> list[str]:
+    rows = [
+        "<table>",
+        "<tr><th>figure</th><th>series</th><th>paper ref</th>"
+        "<th>saturation (paper)</th><th>saturation (measured)</th>"
+        "<th>fidelity</th></tr>",
+    ]
+    for fig in figures:
+        for series in fig.series:
+            ref = fig.refs.get(series.label)
+            sat = fig.saturation[series.label]
+            if ref is None:
+                ref_cells = (
+                    '<td class="muted">—</td><td class="num muted">—</td>'
+                    f'<td class="num">{sat:.3f}</td><td class="muted">unscored</td>'
+                )
+            else:
+                score = fig.fidelity[series.label]
+                ref_cells = (
+                    f"<td>{html.escape(ref.figure)}</td>"
+                    f'<td class="num">{ref.saturation:.3f}</td>'
+                    f'<td class="num">{sat:.3f}</td>'
+                    f'<td class="{_fidelity_class(score)}">{score:.0%}</td>'
+                )
+            rows.append(
+                f"<tr><td>{html.escape(fig.title)}</td>"
+                f"<td>{html.escape(series.label)}</td>{ref_cells}</tr>"
+            )
+    rows.append("</table>")
+    return rows
+
+
+def render_scorecard(
+    figures: list[ScorecardFigure], title: str = "Reproduction scorecard"
+) -> str:
+    """The full self-contained HTML document for a set of figures."""
+    scored = [f.score for f in figures if f.score is not None]
+    overall = sum(scored) / len(scored) if scored else None
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+    ]
+    if overall is not None:
+        parts.append(
+            f'<p>Overall fidelity <span class="{_fidelity_class(overall)}">'
+            f"{overall:.0%}</span> over {len(scored)} paper-referenced "
+            "figure(s); fidelity is 1 − relative saturation-point error "
+            "vs the paper.</p>"
+        )
+    else:
+        parts.append(
+            '<p class="muted">No series matches a paper-reported '
+            "configuration, so no fidelity score is available; curves are "
+            "rendered unscored.</p>"
+        )
+    parts += _summary_table(figures)
+    for fig in figures:
+        parts.append(f"<h2>{html.escape(fig.title)}</h2>")
+        legend = []
+        for i, series in enumerate(fig.series):
+            color = _PALETTE[i % len(_PALETTE)]
+            legend.append(
+                f'<span><i class="swatch" style="background:{color}"></i>'
+                f"{html.escape(series.label)}</span>"
+            )
+        parts.append(f'<p class="legend">{"".join(legend)}</p>')
+        parts.append(_figure_svg(fig))
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_scorecard(
+    results: list[RunResult],
+    path: str | pathlib.Path,
+    title: str = "Reproduction scorecard",
+    tol: float = DEFAULT_TOLERANCE,
+) -> list[ScorecardFigure]:
+    """Score a result set and write the HTML scorecard to ``path``.
+
+    Returns the figures (with fidelity populated) for programmatic use.
+    """
+    figures = figures_from_results(results, tol)
+    pathlib.Path(path).write_text(render_scorecard(figures, title), encoding="utf-8")
+    return figures

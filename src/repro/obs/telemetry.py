@@ -22,6 +22,10 @@ import hashlib
 import json
 from dataclasses import dataclass
 
+#: names of the engine's per-cycle phases, in execution order; keys of
+#: :attr:`RunTelemetry.phase_seconds` (see ``Engine.step``)
+PHASE_NAMES = ("link", "injection", "crossbar", "routing")
+
 
 def config_digest(config) -> str:
     """Stable short digest of a full run recipe.
@@ -49,6 +53,12 @@ class RunTelemetry:
         peak_in_flight: maximum number of packets simultaneously in the
             network at any point of the run (memory/backlog high-water
             mark; grows sharply past saturation).
+        phase_seconds: wall-clock seconds spent in each phase of
+            ``Engine.step`` over the run, keyed by :data:`PHASE_NAMES`
+            (link traversal, injection, crossbar forwarding, header
+            routing).  The phases nearly partition the step, so their sum
+            approximates ``wall_clock_s`` minus loop overhead.  ``None``
+            for documents written before the timers existed.
     """
 
     config_hash: str
@@ -57,6 +67,7 @@ class RunTelemetry:
     wall_clock_s: float
     cycles_per_sec: float
     peak_in_flight: int
+    phase_seconds: dict[str, float] | None = None
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON documents."""
@@ -73,6 +84,8 @@ class RunTelemetry:
             wall_clock_s=doc["wall_clock_s"],
             cycles_per_sec=doc["cycles_per_sec"],
             peak_in_flight=doc["peak_in_flight"],
+            # absent from pre-phase-timer archives
+            phase_seconds=doc.get("phase_seconds"),
         )
 
     def summary(self) -> str:
@@ -83,3 +96,19 @@ class RunTelemetry:
             f"({self.cycles_per_sec:,.0f} cyc/s), "
             f"peak in-flight {self.peak_in_flight}"
         )
+
+    def phase_summary(self) -> str:
+        """One-line wall-time split across the engine's step phases.
+
+        Shares are of the phase total (not the full wall clock), so they
+        sum to 100% and stay comparable across runs with different
+        amounts of loop overhead.
+        """
+        if not self.phase_seconds:
+            return "phase timers unavailable"
+        total = sum(self.phase_seconds.values()) or 1.0
+        parts = (
+            f"{name} {self.phase_seconds.get(name, 0.0) / total:.0%}"
+            for name in PHASE_NAMES
+        )
+        return "phases: " + " | ".join(parts)

@@ -32,7 +32,7 @@ from __future__ import annotations
 import time
 
 from ..errors import ConfigurationError, DeadlockError, SimulationError
-from ..obs.telemetry import RunTelemetry, config_digest
+from ..obs.telemetry import PHASE_NAMES, RunTelemetry, config_digest
 from ..router.lane import EjectionLane, InputLane, LinkDirection, OutputLane
 from ..routing.base import RoutingAlgorithm
 from ..topology.base import Topology
@@ -147,6 +147,10 @@ class Engine:
         self._next_pid = 0
         #: high-water mark of packets simultaneously in flight (telemetry)
         self._peak_in_flight = 0
+        #: cumulative wall seconds per step phase, indexed like PHASE_NAMES
+        #: (5 perf_counter reads per cycle — well under 1% of a step)
+        self._phase_seconds = [0.0, 0.0, 0.0, 0.0]
+        self._phase_at_start = (0.0, 0.0, 0.0, 0.0)
         self._warmup_snapshot_taken = config.warmup_cycles == 0
 
         routing.attach(self)
@@ -250,6 +254,13 @@ class Engine:
         probe.bind(self)
         self.probe = probe
 
+    def _start_run(self) -> tuple[int, float]:
+        """Snapshot cycle, wall clock and phase timers at run entry."""
+        self._phase_at_start = tuple(self._phase_seconds)
+        if self.probe is not None:
+            self.probe.on_run_start(self)
+        return self.cycle, time.perf_counter()
+
     def _finish_run(self, started_at_cycle: int, wall_start: float) -> None:
         """Attach telemetry to the result and close out the probe."""
         wall = time.perf_counter() - wall_start
@@ -261,6 +272,10 @@ class Engine:
             wall_clock_s=wall,
             cycles_per_sec=cycles / wall if wall > 0 else 0.0,
             peak_in_flight=self._peak_in_flight,
+            phase_seconds={
+                name: self._phase_seconds[i] - self._phase_at_start[i]
+                for i, name in enumerate(PHASE_NAMES)
+            },
         )
         if self.probe is not None:
             self.probe.on_run_end(self)
@@ -310,6 +325,8 @@ class Engine:
         probe = self.probe
         res = self.result
         progress = False
+        clock = time.perf_counter
+        phase_start = clock()
 
         # ---- phase 1a: link traversal -------------------------------------
         for d in self.dirs:
@@ -384,6 +401,11 @@ class Engine:
                 if probe is not None:
                     probe.on_direction_blocked(t, d)
 
+        phases = self._phase_seconds
+        now = clock()
+        phases[0] += now - phase_start
+        phase_start = now
+
         # ---- phase 1b: injection ------------------------------------------
         cap = self.config.buffer_flits
         default_size = self.config.packet_flits
@@ -449,6 +471,10 @@ class Engine:
                         node.packet = None
                         node.lane = None
 
+        now = clock()
+        phases[1] += now - phase_start
+        phase_start = now
+
         # ---- phase 2: crossbar --------------------------------------------
         bindings = self.bindings
         i = 0
@@ -479,6 +505,10 @@ class Engine:
                             bindings[i] = last
                         continue  # serve the swapped-in binding at this slot
             i += 1
+
+        now = clock()
+        phases[2] += now - phase_start
+        phase_start = now
 
         # ---- phase 3: routing (one header per switch per cycle) ------------
         if self.route_queue:
@@ -529,6 +559,7 @@ class Engine:
 
         if probe is not None:
             probe.on_cycle(t)
+        phases[3] += clock() - phase_start
         self.cycle = t + 1
         return progress
 
@@ -551,10 +582,7 @@ class Engine:
         """
         watchdog = self.config.watchdog_cycles
         total = self.config.total_cycles
-        start_cycle = self.cycle
-        wall_start = time.perf_counter()
-        if self.probe is not None:
-            self.probe.on_run_start(self)
+        start_cycle, wall_start = self._start_run()
         while self.cycle < total:
             if self.step():
                 self._last_progress = self.cycle
@@ -590,10 +618,7 @@ class Engine:
                 delivered by ``max_cycles``.
         """
         watchdog = self.config.watchdog_cycles
-        start_cycle = self.cycle
-        wall_start = time.perf_counter()
-        if self.probe is not None:
-            self.probe.on_run_start(self)
+        start_cycle, wall_start = self._start_run()
         while True:
             if self.in_flight_packets() == 0 and all(
                 node.source.done() for node in self.active_nodes

@@ -215,6 +215,29 @@ class TestObservability:
         assert cdoc["window_cycles"] == 100
         assert cdoc["windows"]
 
+    def test_run_prints_phase_split(self, capsys):
+        assert main(self.RUN_ARGS) == 0
+        assert "phases: link" in capsys.readouterr().out
+
+    def test_trace_json_parity_with_run(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        code = main(
+            [
+                "trace", "--network", "tree", "--k", "2", "--n", "2",
+                "--vcs", "2", "--load", "0.2", "--profile", "fast",
+                "--out", str(out), "--json",
+            ]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        # same versioned run document as run --json ...
+        assert set(doc) >= {"format", "config", "result", "telemetry"}
+        assert doc["telemetry"]["phase_seconds"]["link"] > 0
+        # ... plus the trace-specific section
+        assert doc["trace"]["events"] > 0
+        assert doc["trace"]["written"] == [str(out)]
+        assert doc["trace"]["deadlock"] is None
+
     def test_cprofile_smoke(self, capsys):
         assert main(self.RUN_ARGS + ["--cprofile"]) == 0
         captured = capsys.readouterr()
@@ -228,6 +251,80 @@ class TestObservability:
         assert main(self.RUN_ARGS + ["--cprofile", str(stats)]) == 0
         assert stats.exists()
         pstats.Stats(str(stats))  # parseable profile dump
+
+
+class TestLedgerAndReport:
+    SWEEP_ARGS = [
+        "sweep", "--network", "tree", "--k", "2", "--n", "2",
+        "--vcs", "2", "--profile", "fast",
+    ]
+
+    def test_run_appends_to_ledger(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+
+        ledger = tmp_path / "runs.jsonl"
+        args = TestObservability.RUN_ARGS + ["--ledger", str(ledger)]
+        assert main(args) == 0
+        assert main(args) == 0  # same recipe again: deduplicated
+        records = Ledger(ledger).query(kind="run")
+        assert len(records) == 1
+        assert records[0]["network"] == "cube"
+
+    def test_sweep_ledger_holds_every_point(self, tmp_path, capsys):
+        from repro.experiments.sweep import clear_cache
+        from repro.obs.ledger import Ledger
+
+        clear_cache()
+        ledger = tmp_path / "runs.jsonl"
+        assert main(self.SWEEP_ARGS + ["--ledger", str(ledger)]) == 0
+        points = Ledger(ledger).query(kind="sweep")
+        assert len(points) >= 2
+        assert len({rec["load"] for rec in points}) == len(points)
+        # replaying the sweep (now cache-warm) adds nothing
+        assert main(self.SWEEP_ARGS + ["--ledger", str(ledger)]) == 0
+        assert len(Ledger(ledger)) == len(points)
+
+    def test_report_from_ledger(self, tmp_path, capsys):
+        from repro.experiments.sweep import clear_cache
+
+        clear_cache()
+        ledger = tmp_path / "runs.jsonl"
+        out = tmp_path / "scorecard.html"
+        assert main(self.SWEEP_ARGS + ["--ledger", str(ledger)]) == 0
+        capsys.readouterr()
+        code = main(
+            ["report", "--ledger", str(ledger), "--out", str(out),
+             "--title", "small card"]
+        )
+        assert code == 0
+        assert "scorecard:" in capsys.readouterr().out
+        text = out.read_text()
+        assert text.count("<svg") == 1
+        assert "small card" in text
+
+    def test_report_empty_ledger_is_an_error(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(
+            ["report", "--ledger", str(empty), "--out", str(tmp_path / "s.html")]
+        )
+        assert code == 2
+        assert "no scorable runs" in capsys.readouterr().err
+
+    def test_faults_ledger_keeps_every_fraction(self, tmp_path, capsys):
+        from repro.obs.ledger import Ledger
+
+        ledger = tmp_path / "runs.jsonl"
+        code = main(
+            [
+                "faults", "--network", "cube", "--k", "4", "--n", "2",
+                "--profile", "fast", "--fractions", "0,0.1",
+                "--ledger", str(ledger),
+            ]
+        )
+        assert code == 0
+        # same config+seed at both fractions: dedup must be off for faults
+        assert len(Ledger(ledger).query(kind="faults")) == 2
 
 
 class TestFaultsCommand:

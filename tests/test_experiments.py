@@ -115,6 +115,12 @@ class TestReport:
         assert "2.500" in out
         assert "-" in lines[-1]  # None rendered as dash
 
+    def test_render_table_escapes_pipes(self):
+        # a literal | in a cell must not split the markdown column
+        out = render_table(["name", "v"], [["a|b", 1]])
+        assert "a\\|b" in out
+        assert "a|b " not in out
+
     def test_render_cnf_contains_series(self):
         cnf = fig6_experiment("uniform", TINY)
         text = render_cnf(cnf)

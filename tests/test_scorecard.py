@@ -1,0 +1,129 @@
+"""HTML reproduction scorecard (repro.obs.report)."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.obs.report import (
+    figures_from_results,
+    paper_reference,
+    render_scorecard,
+    write_scorecard,
+)
+from repro.sim.run import simulate
+
+from .conftest import small_cube_config, small_tree_config
+
+
+@pytest.fixture(scope="module")
+def mixed_results():
+    """A small two-figure result set: tree sweep + one cube point."""
+    tree = [
+        simulate(small_tree_config(load=load, seed=3)) for load in (0.1, 0.3, 0.6)
+    ]
+    cube = [simulate(small_cube_config(load=0.2, seed=3))]
+    return tree + cube
+
+
+class TestPaperReference:
+    def test_fig5_lookup_by_vcs(self):
+        ref = paper_reference("tree", 4, 4, "tree_adaptive", 4, "uniform")
+        assert ref.figure == "Fig 5"
+        assert ref.saturation == 0.72
+        assert paper_reference("tree", 4, 4, "tree_adaptive", 1, "uniform").saturation == 0.36
+
+    def test_fig6_lookup_by_algorithm(self):
+        dor = paper_reference("cube", 16, 2, "dor", 4, "uniform")
+        duato = paper_reference("cube", 16, 2, "duato", 4, "uniform")
+        assert dor.figure == duato.figure == "Fig 6"
+        assert dor.saturation == 0.60
+        assert duato.saturation == 0.80
+        assert dor.latency_presat == 70.0
+
+    def test_unreported_configurations_have_no_ref(self):
+        # wrong shape, wrong vcs, extension pattern: all unscored
+        assert paper_reference("tree", 2, 2, "tree_adaptive", 2, "uniform") is None
+        assert paper_reference("cube", 16, 2, "dor", 2, "uniform") is None
+        assert paper_reference("cube", 16, 2, "dor", 4, "tornado") is None
+
+
+class TestFigures:
+    def test_grouping(self, mixed_results):
+        figures = figures_from_results(mixed_results)
+        assert len(figures) == 2  # one per (network, k, n, pattern)
+        by_title = {f.title: f for f in figures}
+        tree = by_title["tree 2-ary 2-dim, uniform traffic"]
+        assert len(tree.series) == 1
+        assert len(tree.series[0].points) == 3
+        assert tree.saturation[tree.series[0].label] > 0
+
+    def test_small_networks_are_unscored(self, mixed_results):
+        # test-sized shapes are not paper configurations
+        for fig in figures_from_results(mixed_results):
+            assert fig.refs == {}
+            assert fig.score is None
+
+    def test_fidelity_is_relative_saturation_error(self, mixed_results):
+        figures = figures_from_results(mixed_results)
+        fig = figures[1]  # tree
+        label = fig.series[0].label
+        # graft a synthetic paper ref and recompute the score by hand
+        sat = fig.saturation[label]
+        ref_sat = sat / 0.8  # measured is 20% below "paper"
+        fig.fidelity[label] = max(0.0, 1.0 - abs(sat - ref_sat) / ref_sat)
+        assert fig.score == pytest.approx(0.8, abs=1e-9)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(AnalysisError, match="no runs"):
+            figures_from_results([])
+
+
+class TestHtml:
+    def test_one_svg_per_figure_and_well_formed(self, tmp_path, mixed_results):
+        out = tmp_path / "scorecard.html"
+        figures = write_scorecard(mixed_results, out, title="test card")
+        text = out.read_text()
+        assert text.startswith("<!DOCTYPE html>")
+        assert text.count("<svg") == len(figures) == 2
+        # every <svg> block must parse as XML (it is inline markup)
+        all_tags = set()
+        for chunk in text.split("<svg")[1:]:
+            svg = "<svg" + chunk.split("</svg>")[0] + "</svg>"
+            root = ET.fromstring(svg)
+            tags = {child.tag.split("}")[-1] for child in root.iter()}
+            assert "circle" in tags  # data points always rendered
+            all_tags |= tags
+        # the 3-point tree sweep gets connected curves (a single-point
+        # series renders markers only)
+        assert "polyline" in all_tags
+        assert "test card" in text
+
+    def test_self_contained(self, tmp_path, mixed_results):
+        figures = write_scorecard(mixed_results, tmp_path / "s.html")
+        text = (tmp_path / "s.html").read_text()
+        # no external assets: no scripts, stylesheets or images to fetch
+        assert "<script" not in text
+        assert "<link" not in text
+        assert "<img" not in text
+        assert "<style>" in text
+        for fig in figures:
+            assert fig.title in text
+
+    def test_unscored_card_says_so(self, mixed_results):
+        html_text = render_scorecard(figures_from_results(mixed_results))
+        assert "No series matches a paper-reported" in html_text
+        assert "unscored" in html_text
+
+    def test_reference_overlay_rendered_when_scored(self, mixed_results):
+        figures = figures_from_results(mixed_results)
+        fig = figures[0]
+        label = fig.series[0].label
+        from repro.obs.report import PaperRef
+
+        fig.refs[label] = PaperRef(figure="Fig 6", saturation=0.6, latency_presat=70.0)
+        fig.fidelity[label] = 0.95
+        html_text = render_scorecard(figures)
+        assert "paper 0.6" in html_text  # dashed saturation marker label
+        assert "Overall fidelity" in html_text
+        assert "95%" in html_text

@@ -16,7 +16,7 @@ from repro.metrics.io import (
     run_result_to_dict,
     save_run,
 )
-from repro.obs import RunTelemetry, config_digest
+from repro.obs import PHASE_NAMES, RunTelemetry, config_digest
 from repro.sim.run import build_engine, simulate
 
 from .conftest import small_cube_config, small_tree_config
@@ -56,6 +56,53 @@ class TestRunTelemetry:
         b = small_tree_config(seed=99)
         assert config_digest(a) == config_digest(small_tree_config())
         assert config_digest(a) != config_digest(b)
+
+
+class TestPhaseTimers:
+    def test_every_phase_timed(self):
+        t = simulate(small_tree_config()).telemetry
+        assert set(t.phase_seconds) == set(PHASE_NAMES)
+        assert all(v > 0 for v in t.phase_seconds.values())
+
+    def test_phases_sum_close_to_wall_time(self):
+        # step() is the run loop's body; the phase split must account for
+        # most of the wall clock (the remainder is loop/probe overhead)
+        t = simulate(small_cube_config(total_cycles=2000)).telemetry
+        total = sum(t.phase_seconds.values())
+        assert total <= t.wall_clock_s
+        assert total >= 0.5 * t.wall_clock_s
+
+    def test_timers_reset_between_runs_on_one_engine(self):
+        engine = build_engine(small_tree_config(load=0.0, warmup_cycles=0))
+        engine.preload_packet(0, 3)
+        engine.run_until_drained()
+        first = engine.result.telemetry.phase_seconds
+        engine.preload_packet(1, 2)
+        engine.run_until_drained()
+        second = engine.result.telemetry.phase_seconds
+        # each record covers only its own run; together they account for
+        # the engine's cumulative phase time exactly
+        cumulative = sum(engine._phase_seconds)
+        assert sum(first.values()) + sum(second.values()) == pytest.approx(cumulative)
+
+    def test_round_trip_with_phases(self):
+        t = simulate(small_tree_config()).telemetry
+        clone = RunTelemetry.from_dict(t.to_dict())
+        assert clone.phase_seconds == t.phase_seconds
+
+    def test_pre_phase_documents_still_load(self):
+        doc = simulate(small_tree_config()).telemetry.to_dict()
+        del doc["phase_seconds"]  # PR-2 era document
+        t = RunTelemetry.from_dict(doc)
+        assert t.phase_seconds is None
+        assert t.phase_summary() == "phase timers unavailable"
+
+    def test_phase_summary_lists_all_phases(self):
+        t = simulate(small_tree_config()).telemetry
+        summary = t.phase_summary()
+        assert summary.startswith("phases:")
+        for name in PHASE_NAMES:
+            assert name in summary
 
 
 class TestRunDocument:
