@@ -10,7 +10,11 @@ short uniform-traffic run:
 * **null** — ``NullProbe`` attached: every callback fires into no-ops;
 * **traced** — ``TraceProbe`` + ``WindowedCounterProbe``: the fully
   instrumented ``repro trace`` configuration (also writes the Chrome
-  trace, which CI uploads as an artifact).
+  trace, which CI uploads as an artifact);
+* **forensics** — the congestion-forensics tier (latency attribution +
+  wait-for graph sampling + link hotspots): the ``--forensics``
+  configuration, so its overhead is on record in ``BENCH_obs.json`` and
+  gated by ``repro-net bench --compare`` alongside the rest.
 
 It exits nonzero when the *null* overhead relative to *off* exceeds
 ``--threshold``.  The threshold is deliberately generous — per-event
@@ -71,7 +75,7 @@ def main(argv=None) -> int:
 
     entries = [
         measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
-        for spec in ("off", "null", "traced")
+        for spec in ("off", "null", "traced", "forensics")
     ]
     rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
     off = rates["off"]
@@ -88,7 +92,7 @@ def main(argv=None) -> int:
           f"load {args.load}, {args.cycles} cycles, best of {args.repeats}:")
     for name, rate in rates.items():
         overhead = (off - rate) / off if off else 0.0
-        print(f"  {name:<7} {rate:>12,.0f} cyc/s   overhead {overhead:+7.1%}")
+        print(f"  {name:<9} {rate:>12,.0f} cyc/s   overhead {overhead:+7.1%}")
 
     if args.out:
         save_baseline(bench_document(entries, repeats=args.repeats), args.out)

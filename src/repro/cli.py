@@ -15,6 +15,10 @@ Subcommands:
 * ``faults`` — fault-degradation experiments on either network (add
   ``--transient`` for a mid-run fail/repair window with a throughput
   timeline);
+* ``analyze`` — congestion forensics from a ``--ledger`` JSONL file:
+  the latency-attribution breakdown, wait-for graph digest (deadlock
+  precursors) and link-hotspot ranking of a ``--forensics`` run, with
+  optional standalone SVG heatmap/breakdown or HTML output;
 * ``report`` — render the HTML reproduction scorecard (paper-reference
   overlays + fidelity scores) from a ``--ledger`` JSONL file;
 * ``bench`` — record an engine performance baseline
@@ -29,11 +33,17 @@ in :mod:`cProfile`; note ``--profile`` keeps its historical meaning of
 the simulation *effort* profile (fast/default/full).  ``--ledger`` (on
 ``run``, ``sweep``, ``trace`` and ``faults``) appends every completed
 run's document to an append-only JSONL metrics ledger that ``report``
-renders into a scorecard.
+renders into a scorecard.  ``--forensics`` (on ``run`` and ``sweep``)
+attaches the congestion-forensics tier — per-packet latency
+attribution, wait-for graph sampling, link hotspots — whose document
+rides on the run's telemetry into the ledger for ``analyze``.
 
 Examples::
 
     repro-net run --network cube --algorithm duato --load 0.5 --json
+    repro-net run --network cube --pattern transpose --load 0.7 \\
+        --forensics --ledger runs.jsonl
+    repro-net analyze --ledger runs.jsonl --heatmap hotspots.svg
     repro-net sweep --pattern uniform --ledger runs.jsonl
     repro-net report --ledger runs.jsonl --out scorecard.html
     repro-net bench && repro-net bench --compare BENCH_$(hostname).json
@@ -177,19 +187,49 @@ def _with_cprofile(args, body):
 
 def cmd_run(args) -> int:
     def body() -> int:
-        result = simulate(_make_config(args, args.load))
+        import dataclasses
+
+        config = _make_config(args, args.load)
+        if args.latencies or args.forensics:
+            config = dataclasses.replace(config, collect_latencies=True)
+        deadlock = probe = None
+        if args.forensics:
+            from .obs.forensics import run_with_forensics
+
+            result, probe, deadlock = run_with_forensics(
+                config, sample_every=args.sample_every
+            )
+        else:
+            result = simulate(config)
         ledger = _open_ledger(args)
         if ledger is not None:
-            ledger.append_run(result, kind="run")
+            ledger.append_run(result, kind="forensics" if args.forensics else "run")
         if args.json:
             from .metrics.io import run_result_to_dict
 
-            print(json.dumps(run_result_to_dict(result), indent=1))
-        else:
-            print(result.summary())
-            if result.telemetry is not None:
-                print(result.telemetry.summary())
-                print(result.telemetry.phase_summary())
+            doc = run_result_to_dict(result)
+            if args.forensics:
+                doc["deadlock"] = str(deadlock) if deadlock is not None else None
+            print(json.dumps(doc, indent=1))
+            return 1 if deadlock is not None else 0
+        print(result.summary())
+        if result.telemetry is not None:
+            print(result.telemetry.summary())
+            print(result.telemetry.phase_summary())
+        pct = result.latency_percentiles()
+        if pct is not None:
+            print(
+                f"latency percentiles ({pct['samples']} samples): "
+                f"p50={pct['p50']} p95={pct['p95']} p99={pct['p99']} "
+                f"max={pct['max']} cycles"
+            )
+        if probe is not None:
+            from .obs.forensics import describe_forensics
+
+            print(describe_forensics(probe.summary()))
+        if deadlock is not None:
+            print(f"error: {deadlock}", file=sys.stderr)
+            return 1
         return 0
 
     return _with_cprofile(args, body)
@@ -228,6 +268,7 @@ def cmd_sweep(args) -> int:
             label=args.pattern,
             progress=progress,
             ledger=_open_ledger(args),
+            forensics=args.forensics,
         )
         from .metrics.saturation import saturation_point
 
@@ -479,6 +520,88 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_analyze(args) -> int:
+    from .obs.ledger import Ledger
+
+    matches = []
+    for rec in Ledger(args.ledger).records():
+        telemetry = (rec.get("run") or {}).get("telemetry") or {}
+        if not telemetry.get("forensics"):
+            continue
+        if args.network and rec.get("network") != args.network:
+            continue
+        if args.pattern and rec.get("pattern") != args.pattern:
+            continue
+        if args.algorithm and rec.get("algorithm") != args.algorithm:
+            continue
+        matches.append(rec)
+    if not matches:
+        raise ConfigurationError(
+            f"ledger {args.ledger} holds no forensics-instrumented runs "
+            "matching the filters (record one with run/sweep --forensics)"
+        )
+    try:
+        rec = matches[args.index]
+    except IndexError:
+        raise ConfigurationError(
+            f"--index {args.index} out of range: {len(matches)} matching record(s)"
+        ) from None
+    doc = rec["run"]["telemetry"]["forensics"]
+    label = (
+        f"{rec.get('network', '?')} k={rec.get('k', '?')} n={rec.get('n', '?')} "
+        f"{rec.get('algorithm', '?')} {rec.get('vcs', '?')}vc "
+        f"{rec.get('pattern', '?')} load {rec.get('load', 0):g}"
+    )
+
+    if args.json:
+        print(json.dumps({"record": label, "forensics": doc}, indent=1))
+    else:
+        if len(matches) > 1:
+            which = args.index if args.index >= 0 else len(matches) + args.index
+            print(
+                f"{len(matches)} forensics record(s) in {args.ledger}; "
+                f"analyzing [{which}] (select with --index)"
+            )
+        print(label)
+        from .obs.forensics import describe_forensics
+
+        print(describe_forensics(doc))
+
+    written = []
+    if args.heatmap or args.breakdown or args.out:
+        from .obs.heatmap import (
+            hotspot_heatmap_svg,
+            latency_breakdown_svg,
+            standalone_svg,
+        )
+
+        if args.heatmap:
+            svg = hotspot_heatmap_svg(doc["hotspots"], metric=args.metric)
+            pathlib.Path(args.heatmap).write_text(standalone_svg(svg))
+            written.append(args.heatmap)
+        if args.breakdown:
+            svg = latency_breakdown_svg(doc["attribution"])
+            pathlib.Path(args.breakdown).write_text(standalone_svg(svg))
+            written.append(args.breakdown)
+        if args.out:
+            import html as _html
+
+            page = (
+                "<!doctype html>\n<meta charset='utf-8'>\n"
+                f"<title>congestion forensics — {_html.escape(label)}</title>\n"
+                f"<h1>Congestion forensics</h1>\n<p>{_html.escape(label)}</p>\n"
+                + standalone_svg(latency_breakdown_svg(doc["attribution"]))
+                + "\n"
+                + standalone_svg(hotspot_heatmap_svg(doc["hotspots"], metric=args.metric))
+                + "\n"
+            )
+            pathlib.Path(args.out).write_text(page)
+            written.append(args.out)
+    if written:
+        print(f"wrote {', '.join(written)}", file=sys.stderr)
+    return 0
+
+
 def cmd_report(args) -> int:
     from .obs.ledger import Ledger
     from .obs.report import write_scorecard
@@ -597,11 +720,39 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("run", help="simulate one offered-load point")
     _add_common(p)
     p.add_argument("--load", type=float, default=0.5, help="fraction of capacity")
+    p.add_argument(
+        "--latencies",
+        action="store_true",
+        help="collect per-packet latency samples and print exact percentiles",
+    )
+    p.add_argument(
+        "--forensics",
+        action="store_true",
+        help=(
+            "attach the congestion-forensics tier (latency attribution, "
+            "wait-for graph sampling, link hotspots); implies --latencies "
+            "and survives a deadlock with a post-mortem"
+        ),
+    )
+    p.add_argument(
+        "--sample-every",
+        type=int,
+        default=200,
+        help="wait-for graph sampling period in cycles (with --forensics)",
+    )
     _add_observability(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="run a load sweep for one configuration")
     _add_common(p)
+    p.add_argument(
+        "--forensics",
+        action="store_true",
+        help=(
+            "instrument every point with the congestion-forensics tier; "
+            "ledger records are filed as kind=forensics for analyze"
+        ),
+    )
     _add_observability(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -687,6 +838,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every fault run's document to this JSONL metrics ledger",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "analyze",
+        help="congestion forensics (attribution/wait-for/hotspots) from a ledger",
+    )
+    p.add_argument(
+        "--ledger", required=True, metavar="JSONL", help="ledger to analyze"
+    )
+    p.add_argument(
+        "--network", choices=("tree", "cube"), default=None, help="filter records"
+    )
+    p.add_argument(
+        "--pattern", choices=sorted(PATTERNS), default=None, help="filter records"
+    )
+    p.add_argument("--algorithm", default=None, help="filter records")
+    p.add_argument(
+        "--index",
+        type=int,
+        default=-1,
+        help="which matching record to analyze (default -1: the most recent)",
+    )
+    p.add_argument(
+        "--heatmap",
+        default=None,
+        metavar="SVG",
+        help="write the link-hotspot heatmap as a standalone SVG file",
+    )
+    p.add_argument(
+        "--breakdown",
+        default=None,
+        metavar="SVG",
+        help="write the latency-breakdown panel as a standalone SVG file",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="HTML",
+        help="write an HTML page with both panels",
+    )
+    p.add_argument(
+        "--metric",
+        choices=("blocked_cycles", "flits"),
+        default="blocked_cycles",
+        help="heatmap cell metric (congestion vs utilization)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw forensics document instead of the text digest",
+    )
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser(
         "report",

@@ -165,10 +165,22 @@ def _reseeded(config: SimulationConfig, attempt: int) -> SimulationConfig:
     return dataclasses.replace(config, seed=config.seed + _RESEED_STRIDE * attempt)
 
 
-def _watchdog_child(config: SimulationConfig, conn) -> None:
+def _simulate_fn(forensics: bool):
+    """The point-simulation callable: plain, or forensics-instrumented.
+
+    Resolved by name at call time (module-level functions, so process
+    pools can pickle the task either way)."""
+    if not forensics:
+        return simulate
+    from ..obs.forensics import simulate_with_forensics
+
+    return simulate_with_forensics
+
+
+def _watchdog_child(config: SimulationConfig, conn, forensics: bool = False) -> None:
     """Subprocess body: simulate and ship the result (or error) back."""
     try:
-        payload = ("ok", simulate(config))
+        payload = ("ok", _simulate_fn(forensics)(config))
     except Exception as exc:  # noqa: BLE001 - shipped to the parent verbatim
         payload = ("err", exc)
     try:
@@ -180,7 +192,9 @@ def _watchdog_child(config: SimulationConfig, conn) -> None:
         conn.close()
 
 
-def _simulate_with_timeout(config: SimulationConfig, timeout: float) -> RunResult:
+def _simulate_with_timeout(
+    config: SimulationConfig, timeout: float, forensics: bool = False
+) -> RunResult:
     """Run one point under a wall-clock watchdog in a subprocess.
 
     Raises:
@@ -188,7 +202,9 @@ def _simulate_with_timeout(config: SimulationConfig, timeout: float) -> RunResul
             so even an engine stuck in an infinite loop is contained.
     """
     recv, send = multiprocessing.Pipe(duplex=False)
-    proc = multiprocessing.Process(target=_watchdog_child, args=(config, send))
+    proc = multiprocessing.Process(
+        target=_watchdog_child, args=(config, send, forensics)
+    )
     proc.start()
     send.close()
     try:
@@ -213,7 +229,10 @@ def _simulate_with_timeout(config: SimulationConfig, timeout: float) -> RunResul
 
 
 def _point_task(
-    config: SimulationConfig, retries: int = 0, timeout: float | None = None
+    config: SimulationConfig,
+    retries: int = 0,
+    timeout: float | None = None,
+    forensics: bool = False,
 ):
     """Run one point with bounded retry-with-reseed.
 
@@ -228,8 +247,8 @@ def _point_task(
         seeds.append(cfg.seed)
         try:
             if timeout is None:
-                return ("ok", simulate(cfg))
-            return ("ok", _simulate_with_timeout(cfg, timeout))
+                return ("ok", _simulate_fn(forensics)(cfg))
+            return ("ok", _simulate_with_timeout(cfg, timeout, forensics))
         except _RETRYABLE as exc:
             last = exc
     failure = FailedPoint(
@@ -242,9 +261,9 @@ def _point_task(
     return ("fail", failure, last)
 
 
-def _run_parallel(pending, retries, timeout, max_workers):
+def _run_parallel(pending, retries, timeout, max_workers, forensics=False):
     workers = min(max_workers or os.cpu_count() or 1, len(pending))
-    task = partial(_point_task, retries=retries, timeout=timeout)
+    task = partial(_point_task, retries=retries, timeout=timeout, forensics=forensics)
     if timeout is None:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             return list(pool.map(task, pending))
@@ -270,6 +289,7 @@ def run_sweep(
     cache: RunCache | None = None,
     progress: Callable[[PointProgress], None] | None = None,
     ledger=None,
+    forensics: bool = False,
 ) -> LoadSweepSeries:
     """Run one configuration over a load grid.
 
@@ -294,7 +314,19 @@ def run_sweep(
             that produced a result (cached hits included) is appended as
             a ``"sweep"`` record, deduplicated by config digest + seed,
             so repeated campaigns accrete one durable results file.
+        forensics: instrument every point with the congestion-forensics
+            tier (:mod:`repro.obs.forensics`); the forensics document
+            rides on each result's telemetry (parallel workers
+            included) and ledger records are filed as ``"forensics"``.
+            Caches are bypassed: a plain cached run has no forensics
+            document, and an instrumented run must not satisfy later
+            uninstrumented campaigns either.
     """
+    if forensics:
+        # the memo/disk cache is keyed by recipe alone; instrumented and
+        # plain runs would collide there (see the docstring)
+        use_cache = False
+        cache = None
     if not loads:
         raise ConfigurationError("empty load grid")
     if retries < 0:
@@ -361,7 +393,7 @@ def run_sweep(
                     cache.put(_cache_key(result.config), result)
             series.add(result)
             if ledger is not None:
-                ledger.append_run(result, kind="sweep")
+                ledger.append_run(result, kind="forensics" if forensics else "sweep")
             report(config, "ok", result)
         else:
             if not record_failures:
@@ -371,7 +403,7 @@ def run_sweep(
 
     if parallel and len(pending) > 1:
         for config, outcome in zip(
-            pending, _run_parallel(pending, retries, timeout, max_workers)
+            pending, _run_parallel(pending, retries, timeout, max_workers, forensics)
         ):
             consume(config, outcome)
     else:
@@ -383,5 +415,10 @@ def run_sweep(
                     ledger.append_run(_CACHE[key], kind="sweep")
                 report(config, "cached")
                 continue
-            consume(config, _point_task(config, retries=retries, timeout=timeout))
+            consume(
+                config,
+                _point_task(
+                    config, retries=retries, timeout=timeout, forensics=forensics
+                ),
+            )
     return series

@@ -60,13 +60,18 @@ def run_result_to_dict(result: RunResult) -> dict:
     Layout: ``format`` (int), ``config`` (every SimulationConfig field),
     ``result`` (the :data:`RUN_RESULT_FIELDS` counters), ``telemetry``
     (the :class:`~repro.obs.telemetry.RunTelemetry` record, or ``None``
-    for results that never ran through the engine).
+    for results that never ran through the engine), and
+    ``latency_percentiles`` (exact p50/p95/p99/max over the per-packet
+    samples when ``config.collect_latencies`` gathered any, else
+    ``None``; derived from ``result.latencies``, so loaders may ignore
+    it).
     """
     return {
         "format": RUN_FORMAT_VERSION,
         "config": dataclasses.asdict(result.config),
         "result": {name: getattr(result, name) for name in RUN_RESULT_FIELDS},
         "telemetry": result.telemetry.to_dict() if result.telemetry else None,
+        "latency_percentiles": result.latency_percentiles(),
     }
 
 

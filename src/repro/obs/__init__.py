@@ -32,6 +32,13 @@ On top of the per-run signals sits the aggregation tier:
 * :mod:`repro.obs.bench` — engine performance baselines
   (``BENCH_<host>.json``) and the ``bench --compare`` regression gate
   over overall and per-phase cycles/sec.
+* :mod:`repro.obs.forensics` — the congestion-forensics tier:
+  per-packet latency attribution (:class:`ForensicsProbe` et al.),
+  wait-for graph sampling with deadlock-precursor detection, and
+  per-link hotspot aggregation, feeding ``repro-net analyze`` and the
+  scorecard's breakdown/heatmap panels.
+* :mod:`repro.obs.heatmap` — stdlib-SVG rendering of the forensics
+  document (hotspot heatmaps, latency-breakdown panel).
 
 CLI entry points: ``repro-net trace`` for instrumented single runs,
 ``repro-net run/sweep/trace --json`` for machine-readable results
@@ -64,9 +71,25 @@ _LAZY = {
     "PaperRef": "report",
     "ScorecardFigure": "report",
     "figures_from_results": "report",
+    "forensics_by_figure": "report",
     "paper_reference": "report",
     "render_scorecard": "report",
     "write_scorecard": "report",
+    "FORENSICS_FORMAT_VERSION": "forensics",
+    "ForensicsProbe": "forensics",
+    "HotspotProbe": "forensics",
+    "LatencyAttributionProbe": "forensics",
+    "PacketAttribution": "forensics",
+    "StreamingHistogram": "forensics",
+    "WaitForGraphSampler": "forensics",
+    "WaitForSample": "forensics",
+    "attach_forensics": "forensics",
+    "describe_forensics": "forensics",
+    "run_with_forensics": "forensics",
+    "simulate_with_forensics": "forensics",
+    "hotspot_heatmap_svg": "heatmap",
+    "latency_breakdown_svg": "heatmap",
+    "standalone_svg": "heatmap",
 }
 
 
@@ -101,9 +124,25 @@ __all__ = [
     "PaperRef",
     "ScorecardFigure",
     "figures_from_results",
+    "forensics_by_figure",
     "paper_reference",
     "render_scorecard",
     "write_scorecard",
+    "FORENSICS_FORMAT_VERSION",
+    "ForensicsProbe",
+    "HotspotProbe",
+    "LatencyAttributionProbe",
+    "PacketAttribution",
+    "StreamingHistogram",
+    "WaitForGraphSampler",
+    "WaitForSample",
+    "attach_forensics",
+    "describe_forensics",
+    "run_with_forensics",
+    "simulate_with_forensics",
+    "hotspot_heatmap_svg",
+    "latency_breakdown_svg",
+    "standalone_svg",
     "PHASE_NAMES",
     "RunTelemetry",
     "config_digest",

@@ -54,6 +54,13 @@ DEFAULT_THRESHOLD = 0.15
 #: phases below this share of baseline phase time are not compared
 MIN_PHASE_SHARE = 0.05
 
+def _forensics_probe():
+    # imported on use: forensics sits above this module in the layering
+    from .forensics import ForensicsProbe
+
+    return ForensicsProbe()
+
+
 #: probe spec names -> factories; "off" runs the uninstrumented fast path
 PROBE_FACTORIES = {
     "off": lambda: None,
@@ -61,6 +68,7 @@ PROBE_FACTORIES = {
     "traced": lambda: MultiProbe(
         [TraceProbe(), WindowedCounterProbe(window_cycles=200)]
     ),
+    "forensics": _forensics_probe,
 }
 
 
@@ -69,7 +77,8 @@ def default_suite(cycles: int = 2000) -> list[tuple[str, SimulationConfig, str]]
 
     Small fixed networks — the point is a stable per-host trend line for
     the engine's hot loops, not paper-scale numbers — covering both
-    topologies and all three probe operating points.
+    topologies and every probe operating point (probes off, the no-op
+    probe, the trace/counter stack, and the forensics tier).
     """
     common = dict(load=0.3, seed=11, warmup_cycles=cycles // 10, total_cycles=cycles)
     tree = tree_config(k=2, n=3, vcs=2, **common)
@@ -79,6 +88,7 @@ def default_suite(cycles: int = 2000) -> list[tuple[str, SimulationConfig, str]]
         ("tree-null", tree, "null"),
         ("cube-off", cube, "off"),
         ("cube-traced", cube, "traced"),
+        ("cube-forensics", cube, "forensics"),
     ]
 
 

@@ -1,0 +1,241 @@
+"""Stdlib-SVG rendering of forensics data: hotspot heatmaps, breakdowns.
+
+Pure string assembly (same no-dependency policy as
+:mod:`repro.obs.report`) turning the forensics document's sections into
+standalone ``<svg>`` fragments:
+
+* :func:`hotspot_heatmap_svg` — per-switch congestion heatmap from the
+  per-physical-link hotspot records.  Layout follows the topology: a
+  k-ary n-tree renders as *levels × switches-per-level* (level 0, the
+  leaf row, at the bottom — congestion on the paper's tree lives in the
+  upper levels), a k-ary 2-cube as its natural k × k grid (16 × 16 for
+  the paper's network).  Cell colour encodes the switch's share of the
+  run's worst blocked-cycle total; hovering a cell shows exact counts.
+* :func:`latency_breakdown_svg` — one stacked bar of the four latency
+  components' shares plus a per-component percentile table
+  (mean/p50/p95/p99/max) from the attribution histograms.
+
+Both are embedded in the ``repro-net report`` scorecard next to the CNF
+panels and written standalone by ``repro-net analyze``.
+"""
+
+from __future__ import annotations
+
+import html
+
+from ..errors import AnalysisError
+from .forensics import COMPONENTS
+
+#: Okabe–Ito colours for the four latency components (+ the total)
+COMPONENT_COLORS = {
+    "source_wait": "#0072B2",
+    "routing_stall": "#E69F00",
+    "blocked": "#D55E00",
+    "transfer": "#009E73",
+    "network_latency": "#555555",
+}
+
+#: heat ramp endpoints: white (cold) to Okabe–Ito vermilion (hot)
+_COLD = (255, 255, 255)
+_HOT = (213, 94, 0)
+
+
+def _heat_color(frac: float) -> str:
+    """Linear white→vermilion ramp over ``frac`` in [0, 1]."""
+    frac = min(1.0, max(0.0, frac))
+    r, g, b = (round(c + (h - c) * frac) for c, h in zip(_COLD, _HOT))
+    return f"#{r:02x}{g:02x}{b:02x}"
+
+
+def _switch_totals(hotspots: dict) -> dict[int, dict]:
+    """Aggregate the per-link records per switch (sum over directions)."""
+    totals: dict[int, dict] = {}
+    for rec in hotspots.get("links", ()):
+        s = rec["switch"]
+        entry = totals.setdefault(s, {"blocked_cycles": 0, "flits": 0})
+        entry["blocked_cycles"] += rec["blocked_cycles"]
+        entry["flits"] += rec["flits"]
+    return totals
+
+
+def _grid_geometry(hotspots: dict) -> tuple[int, int, list[tuple[int, int, int]]]:
+    """(cols, rows, [(switch, col, row)]) for the network's natural grid."""
+    network = hotspots.get("network")
+    k = hotspots.get("k") or 1
+    n = hotspots.get("n") or 1
+    num_switches = hotspots.get("num_switches") or 0
+    if not num_switches:
+        raise AnalysisError("hotspot document carries no switches to draw")
+    cells = []
+    if network == "tree":
+        # one row per level; level 0 (the leaf row) rendered at the bottom
+        per_level = max(1, num_switches // max(1, n))
+        cols, rows = per_level, n
+        for s in range(num_switches):
+            level = s // per_level
+            cells.append((s, s % per_level, rows - 1 - level))
+    else:
+        # cube: k columns; n=2 gives the natural k x k grid, n=1 one row
+        cols = k
+        rows = (num_switches + cols - 1) // cols
+        for s in range(num_switches):
+            cells.append((s, s % cols, s // cols))
+    return cols, rows, cells
+
+
+def hotspot_heatmap_svg(
+    hotspots: dict, metric: str = "blocked_cycles", title: str | None = None
+) -> str:
+    """The per-switch congestion heatmap as one standalone ``<svg>``.
+
+    Args:
+        hotspots: the ``hotspots`` section of a forensics document.
+        metric: ``"blocked_cycles"`` (congestion, default) or
+            ``"flits"`` (utilization).
+        title: heading inside the SVG (defaults to a metric description).
+
+    Raises:
+        AnalysisError: when the document describes no switches.
+    """
+    cols, rows, cells = _grid_geometry(hotspots)
+    totals = _switch_totals(hotspots)
+    peak = max((t[metric] for t in totals.values()), default=0)
+
+    cell = max(8, min(30, 640 // cols))
+    pad, top = 34, 40
+    width = pad + cols * cell + 14
+    height = top + rows * cell + 16
+    label = title or (
+        f"{hotspots.get('network', '?')} link hotspots — {metric.replace('_', ' ')} "
+        f"per switch (peak {peak})"
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">',
+        f'<text x="{pad}" y="16" class="ptitle" text-anchor="start">'
+        f"{html.escape(label)}</text>",
+    ]
+    if hotspots.get("network") == "tree":
+        for row in range(rows):
+            level = rows - 1 - row
+            parts.append(
+                f'<text x="{pad - 6}" y="{top + row * cell + cell / 2 + 3:.0f}" '
+                f'class="tick ylab">lvl {level}</text>'
+            )
+    for s, col, row in cells:
+        entry = totals.get(s, {"blocked_cycles": 0, "flits": 0})
+        value = entry[metric]
+        frac = value / peak if peak else 0.0
+        x, y = pad + col * cell, top + row * cell
+        tooltip = (
+            f"switch {s}: {entry['blocked_cycles']} blocked cycles, "
+            f"{entry['flits']} flits"
+        )
+        parts.append(
+            f'<rect x="{x}" y="{y}" width="{cell - 1}" height="{cell - 1}" '
+            f'fill="{_heat_color(frac)}" stroke="#ccc" stroke-width="0.5">'
+            f"<title>{html.escape(tooltip)}</title></rect>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def latency_breakdown_svg(attribution: dict, title: str | None = None) -> str:
+    """The latency-breakdown panel: stacked component bar + percentiles.
+
+    Args:
+        attribution: the ``attribution`` section of a forensics document.
+        title: heading inside the SVG.
+
+    Raises:
+        AnalysisError: when the document recorded no packets.
+    """
+    packets = attribution.get("packets", 0)
+    if not packets:
+        raise AnalysisError("attribution document holds no delivered packets")
+    shares = attribution.get("share", {})
+    components = attribution.get("components", {})
+
+    bar_x, bar_y, bar_w, bar_h = 20, 34, 560, 24
+    row_h, table_y = 17, bar_y + bar_h + 24
+    names = list(COMPONENTS) + ["network_latency"]
+    width = bar_x + bar_w + 20
+    height = table_y + (len(names) + 1) * row_h + 12
+    label = title or (
+        f"latency attribution — {packets} packets "
+        f"({attribution.get('pattern', '?')} traffic)"
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">',
+        f'<text x="{bar_x}" y="16" class="ptitle" text-anchor="start">'
+        f"{html.escape(label)}</text>",
+    ]
+    x = float(bar_x)
+    for name in COMPONENTS:
+        share = shares.get(name, 0.0)
+        w = share * bar_w
+        if w > 0:
+            parts.append(
+                f'<rect x="{x:.1f}" y="{bar_y}" width="{w:.1f}" height="{bar_h}" '
+                f'fill="{COMPONENT_COLORS[name]}">'
+                f"<title>{html.escape(name)}: {share:.1%}</title></rect>"
+            )
+            if w > 46:
+                parts.append(
+                    f'<text x="{x + w / 2:.1f}" y="{bar_y + bar_h - 8}" '
+                    f'class="barlabel">{share:.0%}</text>'
+                )
+        x += w
+    cols = (160, 250, 320, 390, 460, 530)
+    header = ("component", "mean", "p50", "p95", "p99", "max")
+    parts += [
+        f'<text x="{cx}" y="{table_y}" class="tick" text-anchor="end">'
+        f"{html.escape(h)}</text>"
+        for cx, h in zip(cols, header)
+    ]
+    for i, name in enumerate(names):
+        hist = components.get(name, {})
+        y = table_y + (i + 1) * row_h
+        color = COMPONENT_COLORS.get(name, "#555")
+        parts.append(
+            f'<rect x="{bar_x}" y="{y - 9}" width="9" height="9" fill="{color}"/>'
+        )
+        parts.append(
+            f'<text x="{cols[0]}" y="{y}" class="tick" text-anchor="end">'
+            f"{html.escape(name.replace('_', ' '))}</text>"
+        )
+        values = (
+            f"{hist.get('mean', 0.0):.1f}",
+            str(hist.get("p50", 0)),
+            str(hist.get("p95", 0)),
+            str(hist.get("p99", 0)),
+            str(hist.get("max", 0)),
+        )
+        parts += [
+            f'<text x="{cx}" y="{y}" class="tick" text-anchor="end">{v}</text>'
+            for cx, v in zip(cols[1:], values)
+        ]
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+#: minimal inline CSS for standalone SVG files (the scorecard's page CSS
+#: covers these classes when embedded there)
+_STANDALONE_CSS = (
+    "<style>"
+    ".ptitle { font: 600 12px system-ui, sans-serif; }"
+    ".tick { font: 10px system-ui, sans-serif; fill: #444; }"
+    ".ylab { text-anchor: end; }"
+    ".barlabel { font: 600 10px system-ui, sans-serif; fill: #fff;"
+    " text-anchor: middle; }"
+    "</style>"
+)
+
+
+def standalone_svg(svg: str) -> str:
+    """Inject the inline stylesheet so the SVG renders outside the
+    scorecard page (e.g. the file ``repro-net analyze --heatmap``
+    writes, viewed directly in a browser)."""
+    head, sep, tail = svg.partition(">")
+    return head + sep + _STANDALONE_CSS + tail

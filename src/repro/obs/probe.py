@@ -23,6 +23,10 @@ callback               fires when
                           latency starts; the packet object now has a pid)
 ``on_header_routed``      the routing phase bound an input lane to an output
                           lane (one event per hop of the header)
+``on_head_arrived``       the header flit crossed a link into the input lane
+                          of the *next* switch (one event per hop, paired
+                          with the ``on_header_routed`` that sent it; the
+                          final hop fires ``on_head_delivered`` instead)
 ``on_direction_blocked``  a link direction had buffered flits but moved none
                           this cycle (no lane held both a flit and a credit)
 ``on_head_delivered``     the header flit reached the destination node
@@ -65,6 +69,14 @@ class Probe:
     def on_header_routed(self, cycle: int, switch: int, in_lane, out_lane) -> None:
         """A header was routed through ``switch``: ``in_lane`` bound to
         ``out_lane`` (``in_lane.packet`` identifies the packet)."""
+
+    def on_head_arrived(self, cycle: int, lane, packet) -> None:
+        """``packet``'s header flit crossed a link and now occupies input
+        ``lane`` at the next switch (it joins that switch's routing
+        queue).  Together with ``on_packet_injected`` and
+        ``on_header_routed`` this checkpoints the header at every hop, so
+        a probe can attribute each cycle of head latency to routing
+        stall vs. blocked-in-network time."""
 
     def on_head_delivered(self, cycle: int, packet) -> None:
         """``packet``'s header reached its destination node."""
@@ -120,6 +132,10 @@ class MultiProbe(Probe):
     def on_header_routed(self, cycle: int, switch: int, in_lane, out_lane) -> None:
         for p in self.probes:
             p.on_header_routed(cycle, switch, in_lane, out_lane)
+
+    def on_head_arrived(self, cycle: int, lane, packet) -> None:
+        for p in self.probes:
+            p.on_head_arrived(cycle, lane, packet)
 
     def on_head_delivered(self, cycle: int, packet) -> None:
         for p in self.probes:

@@ -142,6 +142,34 @@ def _series_label(algorithm: str, vcs: int) -> str:
     return f"{algorithm}, {vcs} vc"
 
 
+def _figure_title(network: str, k: int, n: int, pattern: str) -> str:
+    return f"{network} {k}-ary {n}-dim, {pattern} traffic"
+
+
+def forensics_by_figure(results: list[RunResult]) -> dict[str, tuple[str, dict]]:
+    """Pick one forensics document per scorecard figure.
+
+    Runs instrumented with the forensics tier carry the document on
+    their telemetry; for each (network, shape, pattern) figure the run
+    at the highest offered load wins — congestion forensics are most
+    informative where the network is closest to saturation.  Returns
+    ``figure title -> (run label, forensics document)``.
+    """
+    chosen: dict[str, tuple[float, str, dict]] = {}
+    for result in results:
+        t = result.telemetry
+        if t is None or not getattr(t, "forensics", None):
+            continue
+        c = result.config
+        title = _figure_title(c.network, c.k, c.n, c.pattern)
+        load = c.load
+        prev = chosen.get(title)
+        if prev is None or load > prev[0]:
+            label = f"{_series_label(c.algorithm, c.vcs)}, load {load:g}"
+            chosen[title] = (load, label, t.forensics)
+    return {title: (label, doc) for title, (_, label, doc) in chosen.items()}
+
+
 def figures_from_results(
     results: list[RunResult], tol: float = DEFAULT_TOLERANCE
 ) -> list[ScorecardFigure]:
@@ -177,7 +205,7 @@ def figures_from_results(
 
     figures = []
     for (network, k, n, pattern), curves in sorted(groups.items()):
-        fig = ScorecardFigure(title=f"{network} {k}-ary {n}-dim, {pattern} traffic")
+        fig = ScorecardFigure(title=_figure_title(network, k, n, pattern))
         for (algorithm, vcs), series in sorted(curves.items()):
             fig.series.append(series)
             sat = saturation_point(series, tol)
@@ -357,6 +385,8 @@ svg .ptitle { font: 600 12px system-ui, sans-serif; text-anchor: middle; }
 svg .axis { font: 11px system-ui, sans-serif; text-anchor: middle; fill: #444; }
 svg .tick { font: 10px system-ui, sans-serif; text-anchor: middle; fill: #666; }
 svg .ylab { text-anchor: end; }
+svg .barlabel { font: 600 10px system-ui, sans-serif; fill: #fff; text-anchor: middle; }
+h3 { font-size: .95rem; margin: 1.2rem 0 0; }
 .legend span { display: inline-block; margin-right: 1.2rem; }
 .swatch { display: inline-block; width: .8em; height: .8em; border-radius: 2px;
           margin-right: .35em; vertical-align: -1px; }
@@ -403,10 +433,55 @@ def _summary_table(figures: list[ScorecardFigure]) -> list[str]:
     return rows
 
 
+def _forensics_section(label: str, doc: dict) -> list[str]:
+    """The latency-breakdown + hotspot-heatmap panels for one figure."""
+    from .heatmap import hotspot_heatmap_svg, latency_breakdown_svg
+
+    parts = [
+        f"<h3>congestion forensics ({html.escape(label)})</h3>",
+    ]
+    attribution = doc.get("attribution") or {}
+    if attribution.get("packets"):
+        parts.append(latency_breakdown_svg(attribution))
+    hotspots = doc.get("hotspots") or {}
+    if hotspots.get("links"):
+        parts.append(hotspot_heatmap_svg(hotspots))
+    waitfor = doc.get("waitfor") or {}
+    notes = []
+    if waitfor.get("samples"):
+        notes.append(
+            f"wait-for graph: {waitfor['samples']} samples, "
+            f"max blocked-chain depth {waitfor.get('max_depth', 0)}"
+        )
+        if waitfor.get("cycles_detected"):
+            notes.append(
+                f'<span class="bad">{waitfor["cycles_detected"]} sample(s) '
+                "contained a wait cycle (deadlock precursor)</span>"
+            )
+        root = waitfor.get("worst_root")
+        if root:
+            notes.append(
+                f"hottest root channel: switch {root['switch']} "
+                f"port {root['port']} vc {root['vc']} "
+                f"({root['waiters']} waiters)"
+            )
+    if notes:
+        parts.append(f'<p class="muted">{"; ".join(notes)}.</p>')
+    return parts
+
+
 def render_scorecard(
-    figures: list[ScorecardFigure], title: str = "Reproduction scorecard"
+    figures: list[ScorecardFigure],
+    title: str = "Reproduction scorecard",
+    forensics: dict[str, tuple[str, dict]] | None = None,
 ) -> str:
-    """The full self-contained HTML document for a set of figures."""
+    """The full self-contained HTML document for a set of figures.
+
+    ``forensics`` maps figure titles to ``(run label, forensics
+    document)`` pairs (see :func:`forensics_by_figure`); matching
+    figures gain a latency-breakdown panel and a link-hotspot heatmap
+    under their CNF panels.
+    """
     scored = [f.score for f in figures if f.score is not None]
     overall = sum(scored) / len(scored) if scored else None
     parts = [
@@ -441,6 +516,9 @@ def render_scorecard(
             )
         parts.append(f'<p class="legend">{"".join(legend)}</p>')
         parts.append(_figure_svg(fig))
+        extra = (forensics or {}).get(fig.title)
+        if extra is not None:
+            parts += _forensics_section(*extra)
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -453,8 +531,13 @@ def write_scorecard(
 ) -> list[ScorecardFigure]:
     """Score a result set and write the HTML scorecard to ``path``.
 
+    Results carrying a forensics document (``--forensics`` runs) add
+    latency-breakdown and hotspot-heatmap panels to their figures.
     Returns the figures (with fidelity populated) for programmatic use.
     """
     figures = figures_from_results(results, tol)
-    pathlib.Path(path).write_text(render_scorecard(figures, title), encoding="utf-8")
+    pathlib.Path(path).write_text(
+        render_scorecard(figures, title, forensics=forensics_by_figure(results)),
+        encoding="utf-8",
+    )
     return figures

@@ -59,6 +59,12 @@ class RunTelemetry:
             routing).  The phases nearly partition the step, so their sum
             approximates ``wall_clock_s`` minus loop overhead.  ``None``
             for documents written before the timers existed.
+        forensics: the congestion-forensics document (latency
+            attribution, wait-for graph summary, link hotspots) attached
+            by :func:`repro.obs.forensics.attach_forensics` when the run
+            was instrumented with a
+            :class:`~repro.obs.forensics.ForensicsProbe`; ``None`` for
+            uninstrumented runs and older archives.
     """
 
     config_hash: str
@@ -68,6 +74,7 @@ class RunTelemetry:
     cycles_per_sec: float
     peak_in_flight: int
     phase_seconds: dict[str, float] | None = None
+    forensics: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON documents."""
@@ -86,6 +93,8 @@ class RunTelemetry:
             peak_in_flight=doc["peak_in_flight"],
             # absent from pre-phase-timer archives
             phase_seconds=doc.get("phase_seconds"),
+            # absent from pre-forensics archives and uninstrumented runs
+            forensics=doc.get("forensics"),
         )
 
     def summary(self) -> str:
@@ -102,8 +111,13 @@ class RunTelemetry:
 
         Shares are of the phase total (not the full wall clock), so they
         sum to 100% and stay comparable across runs with different
-        amounts of loop overhead.
+        amounts of loop overhead.  A 0-cycle run (e.g. a run call on an
+        engine already past ``total_cycles``) has no phase time to
+        split; an explicit empty summary is returned instead of nonsense
+        percentages or a division error.
         """
+        if self.cycles == 0:
+            return "phases: none (0 cycles simulated)"
         if not self.phase_seconds:
             return "phase timers unavailable"
         total = sum(self.phase_seconds.values()) or 1.0

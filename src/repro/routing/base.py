@@ -53,6 +53,22 @@ class RoutingAlgorithm(ABC):
     def select(self, switch: int, inlane: InputLane, packet: Packet) -> OutputLane | None:
         """Return a free output lane for this header, or None to stall."""
 
+    def candidates(
+        self, switch: int, inlane: InputLane, packet: Packet
+    ) -> list[OutputLane] | None:
+        """Every output lane this header could legally take at ``switch``.
+
+        A *read-only* companion to :meth:`select` for observability code
+        (the wait-for graph sampler): it must enumerate the full
+        candidate set without touching :attr:`rng` or any other mutable
+        state, so sampling a live engine never perturbs the simulation.
+        The base implementation returns ``None`` ("unknown"); callers
+        must then over-approximate (e.g. treat every busy output lane at
+        the switch as a potential wait target).  Concrete algorithms
+        override this with their exact legal-lane sets.
+        """
+        return None
+
     # -- shared helpers --------------------------------------------------------
 
     def pick_free_lane(self, lanes: list[OutputLane]) -> OutputLane | None:

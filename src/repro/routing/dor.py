@@ -93,3 +93,12 @@ class DimensionOrderRouting(_CubeRoutingBase):
         lanes = self.out[switch][port]
         base = vn * self.half
         return self.pick_free_lane(lanes[base : base + self.half])
+
+    def candidates(self, switch: int, inlane: InputLane, packet: Packet) -> list[OutputLane]:
+        hop = self.dor_hop(switch, packet.dst)
+        if hop is None:
+            return list(self.out[switch][self.eject_port])
+        dim, direction, vn = hop
+        lanes = self.out[switch][self.topo.port_for(dim, direction)]
+        base = vn * self.half
+        return list(lanes[base : base + self.half])

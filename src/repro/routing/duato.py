@@ -120,3 +120,35 @@ class DuatoAdaptiveRouting(_CubeRoutingBase):
                 self.escape_grants += 1
                 return lane
         return None
+
+    def candidates(self, switch: int, inlane: InputLane, packet: Packet) -> list[OutputLane]:
+        dst = packet.dst
+        if switch == dst:
+            return list(self.out[switch][self.eject_port])
+        out_ports = self.out[switch]
+        k = self.k
+        lanes: list[OutputLane] = []
+        # adaptive channels of every minimal direction
+        for dim in range(self.n):
+            w = self._weight[dim]
+            a = (switch // w) % k
+            b = (dst // w) % k
+            if a == b:
+                continue
+            delta = (b - a) % k
+            if delta * 2 < k:
+                directions = (1,)
+            elif delta * 2 == k:
+                directions = (1, -1)
+            else:
+                directions = (-1,)
+            for direction in directions:
+                lanes.extend(
+                    out_ports[self.topo.port_for(dim, direction)][: self.n_adaptive]
+                )
+        # plus the escape channel of the DOR hop's virtual network
+        dim, direction, vn = self.dor_hop(switch, dst)
+        lanes.append(
+            out_ports[self.topo.port_for(dim, direction)][self.escape_base + vn]
+        )
+        return lanes

@@ -78,3 +78,11 @@ class TreeAdaptiveRouting(RoutingAlgorithm):
         else:
             port = best_ports[self.rng.randrange(len(best_ports))]
         return self.pick_free_lane(out_ports[port])
+
+    def candidates(self, switch: int, inlane: InputLane, packet: Packet) -> list[OutputLane]:
+        dst = packet.dst
+        out_ports = self.out[switch]
+        if self._lo[switch] <= dst < self._hi[switch]:
+            return list(out_ports[(dst // self._weight[switch]) % self.k])
+        # ascending: any up link is minimal, whatever the load ranking says
+        return [lane for port in self._up_ports for lane in out_ports[port]]

@@ -68,3 +68,11 @@ class TreeDeterministicRouting(RoutingAlgorithm):
             # distinct switches at every level above
             port = k + (packet.src // self._weight[switch]) % k
         return self.pick_free_lane(self.out[switch][port])
+
+    def candidates(self, switch: int, inlane: InputLane, packet: Packet) -> list[OutputLane]:
+        dst = packet.dst
+        if self._lo[switch] <= dst < self._hi[switch]:
+            port = (dst // self._weight[switch]) % self.k
+        else:
+            port = self.k + (packet.src // self._weight[switch]) % self.k
+        return list(self.out[switch][port])

@@ -135,12 +135,7 @@ def capture_snapshot(engine, limit: int = 16) -> DeadlockSnapshot:
                     faulted += 1
                 elif lane.packet is not None:
                     held += 1
-    pending_headers = sum(
-        1
-        for s in engine.route_queue
-        for lane in engine.pending[s]
-        if lane.bound is None
-    )
+    pending_headers = sum(1 for _ in engine.unrouted_headers())
     return DeadlockSnapshot(
         cycle=engine.cycle,
         last_progress_cycle=engine._last_progress,

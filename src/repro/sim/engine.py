@@ -386,6 +386,8 @@ class Engine:
                             sink.received = 1
                             sink.last_arrival = t
                             self._enqueue_header(sink)
+                            if probe is not None:
+                                probe.on_head_arrived(t, sink, pkt)
                         else:
                             sink.received += 1
                             sink.last_arrival = t
@@ -652,6 +654,21 @@ class Engine:
     def in_flight_packets(self) -> int:
         """Packets injected but not yet fully delivered."""
         return self.injected_packets_total - self.delivered_packets_total
+
+    def unrouted_headers(self):
+        """Yield every input lane holding a header that routing has not
+        bound yet, as ``(switch, lane)`` pairs.
+
+        These are exactly the *waiting* parties of the network's wait-for
+        relation: a blocked wormhole chain always terminates at one of
+        them (or at an ejection channel).  Read-only over live engine
+        state — used by the deadlock snapshot and the wait-for graph
+        sampler, safe to call between cycles.
+        """
+        for s in self.route_queue:
+            for lane in self.pending[s]:
+                if lane.bound is None and lane.packet is not None:
+                    yield s, lane
 
     # -- invariants ----------------------------------------------------------------
 

@@ -65,7 +65,14 @@ class RunResult:
 
     @property
     def offered_flits_per_cycle(self) -> float:
-        """Realized offered load per node (flits/cycle)."""
+        """Realized offered load per node (flits/cycle).
+
+        A run with an empty measurement window (``warmup == total``, or a
+        second ``run()`` call on a finished engine) has no rate to
+        report: 0.0, explicitly, rather than a ZeroDivisionError.
+        """
+        if self.measured_cycles <= 0:
+            return 0.0
         return (
             self.generated_packets
             * self.config.packet_flits
@@ -75,7 +82,11 @@ class RunResult:
     @property
     def accepted_flits_per_cycle(self) -> float:
         """Accepted bandwidth per node (flits/cycle): the sustained data
-        delivery rate given the offered bandwidth at the input."""
+        delivery rate given the offered bandwidth at the input.  0.0
+        when the measurement window is empty (see
+        :attr:`offered_flits_per_cycle`)."""
+        if self.measured_cycles <= 0:
+            return 0.0
         return self.delivered_flits / (self.measured_cycles * self.config.num_nodes)
 
     @property
@@ -131,8 +142,35 @@ class RunResult:
         """
         return self.accepted_flits_per_cycle < 0.95 * self.offered_flits_per_cycle
 
+    def latency_percentiles(self) -> dict | None:
+        """Exact percentiles over the per-packet latency samples.
+
+        Requires ``config.collect_latencies``; returns ``None`` when no
+        samples exist (flag off, or nothing delivered in the window).
+        Keys: ``samples``, ``p50``, ``p95``, ``p99``, ``max`` — the same
+        vocabulary as the forensics attribution histograms, but computed
+        from the full sorted sample set, so values are exact.
+        """
+        if not self.latencies:
+            return None
+        samples = sorted(self.latencies)
+        n = len(samples)
+
+        def at(q: float) -> int:
+            return samples[min(n - 1, max(0, round(q * n) - 1))]
+
+        return {
+            "samples": n,
+            "p50": at(0.50),
+            "p95": at(0.95),
+            "p99": at(0.99),
+            "max": samples[-1],
+        }
+
     def summary(self) -> str:
         """One-line human-readable digest."""
+        if self.measured_cycles <= 0:
+            return f"{self.config.label()}: no measurement window (0 cycles)"
         try:
             lat = f"{self.avg_latency_cycles:.1f}"
         except AnalysisError:

@@ -70,9 +70,10 @@ class TestMeasure:
             measure_entry("x", small_cube_config(), "off", repeats=0)
 
     def test_probe_specs_cover_off_and_on(self):
-        assert set(PROBE_FACTORIES) == {"off", "null", "traced"}
+        assert set(PROBE_FACTORIES) == {"off", "null", "traced", "forensics"}
         assert PROBE_FACTORIES["off"]() is None
         assert PROBE_FACTORIES["null"]() is not None
+        assert PROBE_FACTORIES["forensics"]() is not None
 
 
 class TestCompare:
@@ -168,7 +169,7 @@ class TestCli:
         assert code == 0
         doc = load_baseline(out)
         assert {e["name"] for e in doc["entries"]} == {
-            "tree-off", "tree-null", "cube-off", "cube-traced"
+            "tree-off", "tree-null", "cube-off", "cube-traced", "cube-forensics"
         }
         assert "phases:" in capsys.readouterr().out
 
