@@ -14,7 +14,11 @@ short uniform-traffic run:
 * **forensics** — the congestion-forensics tier (latency attribution +
   wait-for graph sampling + link hotspots): the ``--forensics``
   configuration, so its overhead is on record in ``BENCH_obs.json`` and
-  gated by ``repro-net bench --compare`` alongside the rest.
+  gated by ``repro-net bench --compare`` alongside the rest;
+* **reliable** — the source-side reliable transport installed on every
+  node (sequence numbers, ACK/timeout timer wheel, wrapped sources)
+  with zero faults: the protocol's fault-free overhead, gated so the
+  ARQ machinery never silently taxes lossless runs.
 
 It exits nonzero when the *null* overhead relative to *off* exceeds
 ``--threshold``.  The threshold is deliberately generous — per-event
@@ -75,7 +79,7 @@ def main(argv=None) -> int:
 
     entries = [
         measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
-        for spec in ("off", "null", "traced", "forensics")
+        for spec in ("off", "null", "traced", "forensics", "reliable")
     ]
     rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
     off = rates["off"]

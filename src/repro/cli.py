@@ -15,6 +15,10 @@ Subcommands:
 * ``faults`` — fault-degradation experiments on either network (add
   ``--transient`` for a mid-run fail/repair window with a throughput
   timeline);
+* ``chaos`` — randomized fail-stop fault storms with the reliable
+  transport installed: goodput-degradation and retransmit-overhead
+  curves over a fault-rate × repair-time × load grid, appended to the
+  ledger as ``chaos`` records for the scorecard's reliability panel;
 * ``analyze`` — congestion forensics from a ``--ledger`` JSONL file:
   the latency-attribution breakdown, wait-for graph digest (deadlock
   precursors) and link-hotspot ranking of a ``--forensics`` run, with
@@ -262,14 +266,21 @@ def cmd_sweep(args) -> int:
             if p.cycles_per_sec is not None:
                 telemetry.append(p.cycles_per_sec)
 
-        series = run_sweep(
-            lambda load: _make_config(args, load),
-            loads,
-            label=args.pattern,
-            progress=progress,
-            ledger=_open_ledger(args),
-            forensics=args.forensics,
-        )
+        try:
+            series = run_sweep(
+                lambda load: _make_config(args, load),
+                loads,
+                label=args.pattern,
+                progress=progress,
+                ledger=_open_ledger(args),
+                forensics=args.forensics,
+            )
+        except KeyboardInterrupt:
+            print(
+                "interrupted: completed points were flushed to the cache/ledger",
+                file=sys.stderr,
+            )
+            return 130
         from .metrics.saturation import saturation_point
 
         if args.json:
@@ -520,6 +531,100 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_chaos(args) -> int:
+    from .experiments.chaos import chaos_campaign, degradation_rows
+    from .experiments.report import render_table
+    from .traffic.transport import TransportConfig
+
+    profile = get_profile(args.profile)
+    try:
+        rates = tuple(float(f) for f in args.rates.split(",") if f.strip())
+        repairs = tuple(int(f) for f in args.repairs.split(",") if f.strip())
+    except ValueError:
+        raise ConfigurationError(
+            f"bad --rates {args.rates!r} or --repairs {args.repairs!r}"
+        ) from None
+    transport = None
+    if args.base_timeout is not None or args.max_retries is not None:
+        from .experiments.chaos import default_transport
+
+        base = default_transport(profile)
+        transport = TransportConfig(
+            ack_delay=base.ack_delay,
+            base_timeout=args.base_timeout or base.base_timeout,
+            backoff=base.backoff,
+            jitter=base.jitter,
+            max_retries=(
+                args.max_retries if args.max_retries is not None else base.max_retries
+            ),
+            seed=base.seed,
+        )
+    ledger = _open_ledger(args)
+    networks = ("tree", "cube") if args.network == "both" else (args.network,)
+    all_rows = []
+    for network in networks:
+        print(f"chaos campaign: {network}", file=sys.stderr)
+        try:
+            campaign = chaos_campaign(
+                network=network,
+                fault_rates=rates,
+                repair_grid=repairs,
+                profile=profile,
+                vcs=args.vcs,
+                seed=args.seed,
+                storm_seed=args.storm_seed,
+                k=args.k,
+                n=args.n,
+                algorithm=args.algorithm if args.network != "both" else None,
+                transport=transport,
+                parallel=args.parallel,
+                max_workers=args.workers,
+                retries=args.retries,
+                timeout=args.timeout,
+                progress=_progress_printer(),
+                ledger=ledger,
+            )
+        except KeyboardInterrupt:
+            print(
+                "interrupted: completed points were flushed to the ledger",
+                file=sys.stderr,
+            )
+            return 130
+        for row in degradation_rows(campaign):
+            all_rows.append({"network": network, **row})
+    if args.json:
+        print(json.dumps({"rows": all_rows}, indent=1))
+        return 0
+    print(
+        render_table(
+            ["network", "fault rate", "repair", "goodput", "retx ovh",
+             "dropped", "gave up", "failures"],
+            [
+                [
+                    r["network"],
+                    r["fault_rate"],
+                    r["repair_cycles"] or "perm",
+                    round(r["goodput_fraction"], 4),
+                    round(r["retransmit_overhead"], 4),
+                    r["dropped"],
+                    r["given_up"],
+                    r["failures"],
+                ]
+                for r in all_rows
+            ],
+            title="fail-stop chaos campaign (load-averaged per fault rate)",
+        )
+    )
+    if ledger is not None:
+        print(
+            f"chaos records appended to {args.ledger}; render the goodput "
+            "panel with: repro-net report --ledger "
+            f"{args.ledger} --out scorecard.html",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_analyze(args) -> int:
     from .obs.ledger import Ledger
 
@@ -620,8 +725,15 @@ def cmd_report(args) -> int:
             f"ledger {args.ledger} holds no scorable runs "
             "(fault records are excluded unless --include-faults)"
         )
+    from .obs.report import partition_reliability
+
     figures = write_scorecard(results, args.out, title=args.title, tol=args.tol)
-    print(f"scorecard: {len(results)} runs -> {len(figures)} figure(s) -> {args.out}")
+    _, chaos = partition_reliability(results)
+    extras = f" + {len(chaos)} chaos run(s)" if chaos else ""
+    print(
+        f"scorecard: {len(results)} runs -> {len(figures)} figure(s)"
+        f"{extras} -> {args.out}"
+    )
     for fig in figures:
         if fig.score is None:
             print(f"  {fig.title}: no paper reference (unscored)")
@@ -838,6 +950,69 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every fault run's document to this JSONL metrics ledger",
     )
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "chaos",
+        help="fail-stop fault storms under reliable transport (goodput curves)",
+    )
+    p.add_argument(
+        "--network",
+        choices=("tree", "cube", "both"),
+        default="both",
+        help="paper network(s) to storm (default: both, for the scorecard panel)",
+    )
+    p.add_argument("--k", type=int, default=None, help="radix (default: paper network)")
+    p.add_argument("--n", type=int, default=None, help="dimension/levels")
+    p.add_argument(
+        "--algorithm",
+        default=None,
+        help="adaptive algorithm override (lane-level storms need one); "
+        "ignored with --network both",
+    )
+    p.add_argument("--vcs", type=int, default=4)
+    p.add_argument("--seed", type=int, default=47, help="traffic seed")
+    p.add_argument("--storm-seed", type=int, default=5, help="fault draw + strike seed")
+    p.add_argument("--profile", default=None, help="fast, default or full")
+    p.add_argument(
+        "--rates",
+        default="0,0.05,0.1,0.2",
+        help="comma-separated fault rates (fraction of the channel population)",
+    )
+    p.add_argument(
+        "--repairs",
+        default="0",
+        help="comma-separated per-fault down times in cycles (0 = permanent)",
+    )
+    p.add_argument(
+        "--base-timeout",
+        type=int,
+        default=None,
+        help="transport retransmission timer in cycles (default: profile-scaled)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retransmissions per message before giving up (default 4)",
+    )
+    p.add_argument("--parallel", action="store_true", help="fan points over a pool")
+    p.add_argument("--workers", type=int, default=None, help="pool size")
+    p.add_argument("--retries", type=int, default=0, help="attempts per failed point")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget in seconds (watchdog subprocess)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the rows as JSON")
+    p.add_argument(
+        "--ledger",
+        default=None,
+        metavar="JSONL",
+        help="append every chaos run as a kind=chaos record (report renders "
+        "the goodput-degradation panel from them)",
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
         "analyze",

@@ -10,8 +10,11 @@
 * :mod:`repro.experiments.tables` — Tables 1 and 2 (Chien model).
 * :mod:`repro.experiments.report` — ASCII/markdown rendering of series,
   saturation summaries and paper-vs-measured records.
+* :mod:`repro.experiments.chaos` — randomized fail-stop fault storms
+  under the reliable transport (goodput-degradation campaigns).
 """
 
+from .chaos import ChaosSeries, StormSpec, chaos_campaign, run_chaos_point
 from .dimension import dimension_study, normalize_cube
 from .drain import DrainResult, drain_permutation
 from .fig5 import fig5_experiment, fig5_loads
@@ -24,6 +27,10 @@ from .sweep import clear_cache, run_point, run_sweep
 from .tables import table1_rows, table2_rows
 
 __all__ = [
+    "ChaosSeries",
+    "StormSpec",
+    "chaos_campaign",
+    "run_chaos_point",
     "dimension_study",
     "normalize_cube",
     "DrainResult",

@@ -48,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import os
+import threading
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
@@ -74,6 +75,14 @@ _RETRYABLE = (SimulationError, RoutingError, PointTimeoutError)
 #: seed stride between retry attempts (a prime, to dodge accidental
 #: correlation with user seed conventions like 0/1/2/...)
 _RESEED_STRIDE = 7919
+
+#: set when a KeyboardInterrupt reached the campaign layer, so worker
+#: threads stop retrying points whose watchdogs were just terminated
+_INTERRUPTED = threading.Event()
+
+#: live watchdog subprocesses, so an interrupt can terminate them all
+#: instead of leaving orphans behind blocked pipe reads
+_ACTIVE_WATCHDOGS: set = set()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -165,11 +174,16 @@ def _reseeded(config: SimulationConfig, attempt: int) -> SimulationConfig:
     return dataclasses.replace(config, seed=config.seed + _RESEED_STRIDE * attempt)
 
 
-def _simulate_fn(forensics: bool):
-    """The point-simulation callable: plain, or forensics-instrumented.
+def _simulate_fn(forensics: bool, simulate_fn=None):
+    """The point-simulation callable.
 
-    Resolved by name at call time (module-level functions, so process
-    pools can pickle the task either way)."""
+    ``simulate_fn`` (a picklable callable taking a config — a module
+    function or a :func:`functools.partial` of one) overrides
+    everything; otherwise plain :func:`~repro.sim.run.simulate` or its
+    forensics-instrumented twin, resolved by name at call time
+    (module-level functions, so process pools can pickle the task)."""
+    if simulate_fn is not None:
+        return simulate_fn
     if not forensics:
         return simulate
     from ..obs.forensics import simulate_with_forensics
@@ -177,10 +191,12 @@ def _simulate_fn(forensics: bool):
     return simulate_with_forensics
 
 
-def _watchdog_child(config: SimulationConfig, conn, forensics: bool = False) -> None:
+def _watchdog_child(
+    config: SimulationConfig, conn, forensics: bool = False, simulate_fn=None
+) -> None:
     """Subprocess body: simulate and ship the result (or error) back."""
     try:
-        payload = ("ok", _simulate_fn(forensics)(config))
+        payload = ("ok", _simulate_fn(forensics, simulate_fn)(config))
     except Exception as exc:  # noqa: BLE001 - shipped to the parent verbatim
         payload = ("err", exc)
     try:
@@ -193,7 +209,10 @@ def _watchdog_child(config: SimulationConfig, conn, forensics: bool = False) -> 
 
 
 def _simulate_with_timeout(
-    config: SimulationConfig, timeout: float, forensics: bool = False
+    config: SimulationConfig,
+    timeout: float,
+    forensics: bool = False,
+    simulate_fn=None,
 ) -> RunResult:
     """Run one point under a wall-clock watchdog in a subprocess.
 
@@ -203,9 +222,10 @@ def _simulate_with_timeout(
     """
     recv, send = multiprocessing.Pipe(duplex=False)
     proc = multiprocessing.Process(
-        target=_watchdog_child, args=(config, send, forensics)
+        target=_watchdog_child, args=(config, send, forensics, simulate_fn)
     )
     proc.start()
+    _ACTIVE_WATCHDOGS.add(proc)
     send.close()
     try:
         if not recv.poll(timeout):
@@ -221,6 +241,7 @@ def _simulate_with_timeout(
                 f"worker for {config.label()} died without reporting a result"
             ) from None
     finally:
+        _ACTIVE_WATCHDOGS.discard(proc)
         recv.close()
         proc.join()
     if tag == "ok":
@@ -233,6 +254,7 @@ def _point_task(
     retries: int = 0,
     timeout: float | None = None,
     forensics: bool = False,
+    simulate_fn=None,
 ):
     """Run one point with bounded retry-with-reseed.
 
@@ -243,12 +265,16 @@ def _point_task(
     seeds: list[int] = []
     last: Exception | None = None
     for attempt in range(retries + 1):
+        if _INTERRUPTED.is_set():
+            # the campaign is tearing down: a retry here would race the
+            # interrupt handler's worker cleanup
+            raise KeyboardInterrupt
         cfg = _reseeded(config, attempt)
         seeds.append(cfg.seed)
         try:
             if timeout is None:
-                return ("ok", _simulate_fn(forensics)(cfg))
-            return ("ok", _simulate_with_timeout(cfg, timeout, forensics))
+                return ("ok", _simulate_fn(forensics, simulate_fn)(cfg))
+            return ("ok", _simulate_with_timeout(cfg, timeout, forensics, simulate_fn))
         except _RETRYABLE as exc:
             last = exc
     failure = FailedPoint(
@@ -261,16 +287,72 @@ def _point_task(
     return ("fail", failure, last)
 
 
-def _run_parallel(pending, retries, timeout, max_workers, forensics=False):
+def _terminate_workers(pool) -> None:
+    """Best-effort kill of everything a campaign has in flight."""
+    for proc in list(_ACTIVE_WATCHDOGS):
+        try:
+            proc.terminate()
+        except Exception:  # noqa: BLE001 - already-dead processes etc.
+            pass
+    procs = getattr(pool, "_processes", None)  # ProcessPoolExecutor only
+    if procs:
+        for proc in list(procs.values()):
+            try:
+                proc.terminate()
+            except Exception:  # noqa: BLE001
+                pass
+
+
+def _run_parallel(
+    pending,
+    retries,
+    timeout,
+    max_workers,
+    forensics=False,
+    simulate_fn=None,
+    consume=None,
+):
+    """Fan points out over a pool, consuming outcomes in submission order.
+
+    On ``KeyboardInterrupt`` the pool's workers and all live watchdog
+    subprocesses are terminated, but every point that had *already
+    finished* is still flushed through ``consume`` — into the series,
+    the disk cache and the ledger — before the interrupt propagates, so
+    an interrupted campaign keeps its completed work.
+    """
     workers = min(max_workers or os.cpu_count() or 1, len(pending))
-    task = partial(_point_task, retries=retries, timeout=timeout, forensics=forensics)
-    if timeout is None:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(task, pending))
+    task = partial(
+        _point_task,
+        retries=retries,
+        timeout=timeout,
+        forensics=forensics,
+        simulate_fn=simulate_fn,
+    )
     # with a timeout every task already manages its own watchdog
     # subprocess, so the fan-out layer only needs threads to block on pipes
-    with ThreadPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(task, pending))
+    pool_cls = ProcessPoolExecutor if timeout is None else ThreadPoolExecutor
+    pool = pool_cls(max_workers=workers)
+    futures = [pool.submit(task, config) for config in pending]
+    consumed = 0
+    try:
+        for config, fut in zip(pending, futures):
+            consume(config, fut.result())
+            consumed += 1
+    except KeyboardInterrupt:
+        # snapshot completion *before* killing workers: termination flips
+        # still-running futures into error states we must not flush
+        finished = [f.done() and not f.cancelled() for f in futures]
+        _INTERRUPTED.set()
+        _terminate_workers(pool)
+        for idx in range(consumed, len(futures)):
+            if finished[idx] and futures[idx].exception() is None:
+                try:
+                    consume(pending[idx], futures[idx].result())
+                except Exception:  # noqa: BLE001 - teardown must not mask the interrupt
+                    pass
+        raise
+    finally:
+        pool.shutdown(wait=False, cancel_futures=True)
 
 
 # -- campaigns ------------------------------------------------------------------
@@ -290,6 +372,10 @@ def run_sweep(
     progress: Callable[[PointProgress], None] | None = None,
     ledger=None,
     forensics: bool = False,
+    simulate_fn=None,
+    ledger_kind: str | None = None,
+    ledger_dedup: bool = True,
+    on_result: Callable[[RunResult], None] | None = None,
 ) -> LoadSweepSeries:
     """Run one configuration over a load grid.
 
@@ -321,12 +407,30 @@ def run_sweep(
             Caches are bypassed: a plain cached run has no forensics
             document, and an instrumented run must not satisfy later
             uninstrumented campaigns either.
+        simulate_fn: optional picklable callable replacing the
+            point-simulation function entirely (a module-level function
+            or :func:`functools.partial` of one, taking a
+            :class:`SimulationConfig`).  Campaigns that decorate runs
+            with extra machinery (reliable transport, fault storms)
+            plug in here; caches are bypassed for the same reason as
+            with ``forensics``.
+        ledger_kind: override the kind ledger records are filed under
+            (default ``"sweep"``, or ``"forensics"`` when instrumented).
+        ledger_dedup: pass ``dedup=False`` for campaigns whose points
+            intentionally share a config digest + seed (e.g. a chaos
+            grid varying only the storm parameters).
+        on_result: optional callable invoked with every
+            :class:`RunResult` added to the series (cached hits
+            included), for campaigns that need the raw results beyond
+            the series' load points.
     """
-    if forensics:
-        # the memo/disk cache is keyed by recipe alone; instrumented and
-        # plain runs would collide there (see the docstring)
+    if forensics or simulate_fn is not None:
+        # the memo/disk cache is keyed by recipe alone; instrumented,
+        # decorated and plain runs would collide there (see the docstring)
         use_cache = False
         cache = None
+    _INTERRUPTED.clear()
+    kind = ledger_kind or ("forensics" if forensics else "sweep")
     if not loads:
         raise ConfigurationError("empty load grid")
     if retries < 0:
@@ -377,7 +481,9 @@ def run_sweep(
         if result is not None:
             series.add(result)
             if ledger is not None:
-                ledger.append_run(result, kind="sweep")
+                ledger.append_run(result, kind=kind, dedup=ledger_dedup)
+            if on_result is not None:
+                on_result(result)
             report(config, "cached")
         else:
             pending.append(config)
@@ -393,7 +499,9 @@ def run_sweep(
                     cache.put(_cache_key(result.config), result)
             series.add(result)
             if ledger is not None:
-                ledger.append_run(result, kind="forensics" if forensics else "sweep")
+                ledger.append_run(result, kind=kind, dedup=ledger_dedup)
+            if on_result is not None:
+                on_result(result)
             report(config, "ok", result)
         else:
             if not record_failures:
@@ -402,23 +510,34 @@ def run_sweep(
             report(config, "failed")
 
     if parallel and len(pending) > 1:
-        for config, outcome in zip(
-            pending, _run_parallel(pending, retries, timeout, max_workers, forensics)
-        ):
-            consume(config, outcome)
+        _run_parallel(
+            pending,
+            retries,
+            timeout,
+            max_workers,
+            forensics=forensics,
+            simulate_fn=simulate_fn,
+            consume=consume,
+        )
     else:
         for config in pending:
             key = _cache_key(config)
             if use_cache and key in _CACHE:  # duplicate earlier in this grid
                 series.add(_CACHE[key])
                 if ledger is not None:
-                    ledger.append_run(_CACHE[key], kind="sweep")
+                    ledger.append_run(_CACHE[key], kind=kind, dedup=ledger_dedup)
+                if on_result is not None:
+                    on_result(_CACHE[key])
                 report(config, "cached")
                 continue
             consume(
                 config,
                 _point_task(
-                    config, retries=retries, timeout=timeout, forensics=forensics
+                    config,
+                    retries=retries,
+                    timeout=timeout,
+                    forensics=forensics,
+                    simulate_fn=simulate_fn,
                 ),
             )
     return series

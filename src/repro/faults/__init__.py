@@ -13,7 +13,9 @@ across *both* evaluated networks and across *time*:
   that wedges deterministic dimension-order routing;
 * :mod:`repro.faults.schedule` — transient faults (fail at cycle T,
   optionally repair at T') driven by engine cycle hooks, so faults can
-  strike mid-run instead of only before it.
+  strike mid-run instead of only before it; per-fault
+  :class:`~repro.faults.schedule.FaultPolicy` selects drain-then-seize
+  (lossless) or fail-stop (in-flight worms are destroyed) semantics.
 
 Every fault works by allocating the target lanes to the
 :data:`~repro.sim.packet.FAULT_SENTINEL` packet — permanently busy for
@@ -28,7 +30,7 @@ from .cube import (
     random_cube_link_faults,
     validate_escape_connectivity,
 )
-from .schedule import FaultSchedule, ScheduledFault
+from .schedule import FaultPolicy, FaultSchedule, ScheduledFault
 from .tree import (
     TreeUplinkFault,
     inject_tree_uplink_faults,
@@ -40,6 +42,7 @@ __all__ = [
     "FAULT_SENTINEL",
     "CubeLinkFault",
     "TreeUplinkFault",
+    "FaultPolicy",
     "FaultSchedule",
     "ScheduledFault",
     "adaptive_lane_count",

@@ -5,13 +5,18 @@ The static injectors in :mod:`repro.faults.tree` and
 :class:`FaultSchedule` drives the same fault specs through the engine's
 cycle hooks instead, so faults can strike and heal *mid-run*:
 
-* **fail-stop at packet boundary** — wormhole lanes cannot be killed
-  while a worm occupies them without corrupting flow control, so a
+* **drain-then-seize** (:attr:`FaultPolicy.DRAIN`, the default) — a
   striking fault seizes every currently-free lane immediately and
   re-arms itself each cycle for the rest, seizing each remaining lane
   the moment its tail drains.  This models a channel that stops
   accepting *new* packets at failure time and lets in-flight worms
-  finish — the standard fail-stop abstraction.
+  finish — graceful link retirement; no packet is ever lost.
+* **fail-stop** (:attr:`FaultPolicy.FAIL_STOP`) — the link dies
+  abruptly: any worm occupying a struck lane is destroyed on the spot
+  (:meth:`Engine.kill_packet` flushes all its lanes network-wide and
+  emits ``on_packet_dropped``), then the lane is seized.  No deferral
+  or re-arming is needed.  Loss-recovery lives above the engine, in
+  :mod:`repro.traffic.transport`.
 * **repair** — at the repair cycle every sentinel is lifted and any
   still-pending seizure is cancelled; routing rediscovers the lanes on
   its next decision, no other state needs touching.
@@ -36,7 +41,8 @@ Example::
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import enum
+from dataclasses import dataclass, field
 
 from ..errors import ConfigurationError
 from ..sim.engine import Engine
@@ -45,13 +51,23 @@ from .cube import CubeLinkFault, validate_cube_link_faults
 from .tree import TreeUplinkFault, validate_tree_uplink_faults
 
 
+class FaultPolicy(enum.Enum):
+    """What a striking fault does to a lane a worm still occupies."""
+
+    #: wait for the worm's tail to drain, then seize (lossless default)
+    DRAIN = "drain"
+    #: kill the occupying worm immediately and seize (abrupt link death)
+    FAIL_STOP = "fail_stop"
+
+
 @dataclass(frozen=True)
 class ScheduledFault:
-    """One fault spec with its failure window."""
+    """One fault spec with its failure window and strike policy."""
 
     spec: TreeUplinkFault | CubeLinkFault
     fail_at: int
     repair_at: int | None = None
+    policy: FaultPolicy = field(default=FaultPolicy.DRAIN)
 
     def __post_init__(self) -> None:
         if self.fail_at < 0:
@@ -65,22 +81,32 @@ class ScheduledFault:
 class _ActiveFault:
     """Runtime state of one scheduled fault on a live engine."""
 
-    __slots__ = ("lanes", "pending", "repaired")
+    __slots__ = ("lanes", "pending", "repaired", "policy")
 
-    def __init__(self, lanes):
+    def __init__(self, lanes, policy: FaultPolicy = FaultPolicy.DRAIN):
         self.lanes = lanes
         self.pending = list(lanes)
         self.repaired = False
+        self.policy = policy
 
     def strike(self, engine: Engine) -> None:
         if self.repaired:
             return
+        fail_stop = self.policy is FaultPolicy.FAIL_STOP
         still_busy = []
         for lane in self.pending:
-            if lane.packet is None:
+            occupant = lane.packet
+            if occupant is not None and occupant is not FAULT_SENTINEL:
+                if not fail_stop:
+                    still_busy.append(lane)  # seize after its tail drains
+                    continue
+                # abrupt link death: destroy the worm, then take the lane
+                # (kill_packet flushes every lane it holds, this one
+                # included, so the seizure below lands on a free lane)
+                engine.kill_packet(occupant, reason="fault")
+                occupant = lane.packet
+            if occupant is None:
                 lane.packet = FAULT_SENTINEL
-            elif lane.packet is not FAULT_SENTINEL:
-                still_busy.append(lane)  # a worm occupies it; seize after its tail
         self.pending = still_busy
         if still_busy:
             engine.add_cycle_hook(engine.cycle + 1, self.strike)
@@ -105,16 +131,24 @@ class FaultSchedule:
         spec: TreeUplinkFault | CubeLinkFault,
         fail_at: int,
         repair_at: int | None = None,
+        policy: FaultPolicy = FaultPolicy.DRAIN,
     ) -> FaultSchedule:
         """Schedule ``spec`` to fail at ``fail_at`` (repairing at ``repair_at``).
 
-        Returns ``self`` so calls chain.
+        ``policy`` selects what happens to worms occupying the struck
+        lanes: :attr:`FaultPolicy.DRAIN` (default) defers the seizure
+        until each worm's tail drains; :attr:`FaultPolicy.FAIL_STOP`
+        kills the occupants outright.  Returns ``self`` so calls chain.
         """
         if not isinstance(spec, (TreeUplinkFault, CubeLinkFault)):
             raise ConfigurationError(
                 f"expected a TreeUplinkFault or CubeLinkFault spec, got {type(spec).__name__}"
             )
-        self._entries.append(ScheduledFault(spec, fail_at, repair_at))
+        if not isinstance(policy, FaultPolicy):
+            raise ConfigurationError(
+                f"expected a FaultPolicy, got {type(policy).__name__}"
+            )
+        self._entries.append(ScheduledFault(spec, fail_at, repair_at, policy))
         return self
 
     def __len__(self) -> int:
@@ -154,7 +188,7 @@ class FaultSchedule:
                         validate=validate,
                     )
         for entry in self._entries:
-            active = _ActiveFault(entry.spec.lanes(engine))
+            active = _ActiveFault(entry.spec.lanes(engine), entry.policy)
             engine.add_cycle_hook(entry.fail_at, active.strike)
             if entry.repair_at is not None:
                 engine.add_cycle_hook(entry.repair_at, active.repair)

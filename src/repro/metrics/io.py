@@ -51,6 +51,26 @@ RUN_RESULT_FIELDS = (
     "latencies",
     "in_flight_at_end",
     "throughput_timeline",
+    "dropped_packets",
+    "dropped_flits",
+    "retransmitted_packets",
+    "duplicate_packets",
+    "given_up_packets",
+    "goodput_flits",
+)
+
+#: fields added after RUN_FORMAT_VERSION 1 shipped; absent from older
+#: archives and RunCache entries, so loading defaults them instead of
+#: rejecting the document
+_OPTIONAL_RESULT_FIELDS = frozenset(
+    {
+        "dropped_packets",
+        "dropped_flits",
+        "retransmitted_packets",
+        "duplicate_packets",
+        "given_up_packets",
+        "goodput_flits",
+    }
 )
 
 
@@ -88,7 +108,14 @@ def run_result_from_dict(doc: dict) -> RunResult:
         )
     try:
         config = SimulationConfig(**doc["config"])
-        fields = {name: doc["result"][name] for name in RUN_RESULT_FIELDS}
+        fields = {
+            name: (
+                doc["result"].get(name, 0)
+                if name in _OPTIONAL_RESULT_FIELDS
+                else doc["result"][name]
+            )
+            for name in RUN_RESULT_FIELDS
+        }
         telemetry_doc = doc.get("telemetry")
         telemetry = (
             RunTelemetry.from_dict(telemetry_doc) if telemetry_doc is not None else None

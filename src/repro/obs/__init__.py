@@ -69,10 +69,13 @@ _LAZY = {
     "Ledger": "ledger",
     "ledger_record": "ledger",
     "PaperRef": "report",
+    "ReliabilityCurve": "report",
     "ScorecardFigure": "report",
     "figures_from_results": "report",
     "forensics_by_figure": "report",
     "paper_reference": "report",
+    "partition_reliability": "report",
+    "reliability_curves": "report",
     "render_scorecard": "report",
     "write_scorecard": "report",
     "FORENSICS_FORMAT_VERSION": "forensics",
@@ -122,10 +125,13 @@ __all__ = [
     "NullProbe",
     "Probe",
     "PaperRef",
+    "ReliabilityCurve",
     "ScorecardFigure",
     "figures_from_results",
     "forensics_by_figure",
     "paper_reference",
+    "partition_reliability",
+    "reliability_curves",
     "render_scorecard",
     "write_scorecard",
     "FORENSICS_FORMAT_VERSION",

@@ -72,6 +72,28 @@ PROBE_FACTORIES = {
 }
 
 
+def _simulate_spec(probe: str):
+    """The simulation callable for a probe spec name.
+
+    ``"reliable"`` is not a probe: it installs the whole source-side
+    reliable transport (:mod:`repro.traffic.transport`), so its entry
+    gates the fault-free protocol overhead — timer wheel, sequence
+    bookkeeping, wrapped sources — on top of the engine.
+    """
+    if probe == "reliable":
+        from ..traffic.transport import simulate_reliable
+
+        return simulate_reliable
+    try:
+        factory = PROBE_FACTORIES[probe]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown probe spec {probe!r} (expected 'reliable' or one of "
+            f"{sorted(PROBE_FACTORIES)})"
+        ) from None
+    return lambda config: simulate(config, probe=factory())
+
+
 def default_suite(cycles: int = 2000) -> list[tuple[str, SimulationConfig, str]]:
     """The standard bench suite: (name, config, probe spec) triples.
 
@@ -100,17 +122,12 @@ def measure_entry(
     Best-of-``repeats`` on cycles/sec; phase seconds are taken from the
     best run so the two numbers describe the same execution.
     """
-    try:
-        factory = PROBE_FACTORIES[probe]
-    except KeyError:
-        raise ConfigurationError(
-            f"unknown probe spec {probe!r} (expected one of {sorted(PROBE_FACTORIES)})"
-        ) from None
+    sim = _simulate_spec(probe)
     if repeats < 1:
         raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
     best: RunResult | None = None
     for _ in range(repeats):
-        result = simulate(config, probe=factory())
+        result = sim(config)
         if best is None or result.telemetry.cycles_per_sec > best.telemetry.cycles_per_sec:
             best = result
     t = best.telemetry

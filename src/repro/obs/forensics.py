@@ -290,6 +290,11 @@ class LatencyAttributionProbe(Probe):
         if len(self.packets) < self.keep_packets:
             self.packets.append(record)
 
+    def on_packet_dropped(self, cycle: int, packet, reason: str) -> None:
+        # a killed worm never delivers: discard its open flight so the
+        # per-pid state does not accumulate across a long fault storm
+        self._flights.pop(packet.pid, None)
+
     # -- reporting -----------------------------------------------------------
 
     def summary(self) -> dict:

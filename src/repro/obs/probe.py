@@ -31,6 +31,8 @@ callback               fires when
                           this cycle (no lane held both a flit and a credit)
 ``on_head_delivered``     the header flit reached the destination node
 ``on_tail_delivered``     the tail flit reached the destination (delivery)
+``on_packet_dropped``     a fail-stop fault destroyed an in-flight worm
+                          (its lanes were flushed; it will never deliver)
 ``on_cycle``              the cycle's three phases all completed
 ``on_run_start/end``      bracketing ``Engine.run`` / ``run_until_drained``
 =====================  =========================================================
@@ -83,6 +85,11 @@ class Probe:
 
     def on_tail_delivered(self, cycle: int, packet) -> None:
         """``packet``'s tail reached its destination (fully delivered)."""
+
+    def on_packet_dropped(self, cycle: int, packet, reason: str) -> None:
+        """``packet`` was destroyed in flight (fail-stop fault teardown):
+        every lane it held was flushed and it will never be delivered.
+        ``reason`` names the cause (currently always ``"fault"``)."""
 
     # -- fabric state --------------------------------------------------------
 
@@ -144,6 +151,10 @@ class MultiProbe(Probe):
     def on_tail_delivered(self, cycle: int, packet) -> None:
         for p in self.probes:
             p.on_tail_delivered(cycle, packet)
+
+    def on_packet_dropped(self, cycle: int, packet, reason: str) -> None:
+        for p in self.probes:
+            p.on_packet_dropped(cycle, packet, reason)
 
     def on_direction_blocked(self, cycle: int, direction) -> None:
         for p in self.probes:

@@ -170,6 +170,74 @@ def forensics_by_figure(results: list[RunResult]) -> dict[str, tuple[str, dict]]
     return {title: (label, doc) for title, (_, label, doc) in chosen.items()}
 
 
+def partition_reliability(
+    results: list[RunResult],
+) -> tuple[list[RunResult], list[RunResult]]:
+    """Split chaos-campaign runs out of a result set.
+
+    A chaos run carries the storm recipe on ``telemetry.reliability``;
+    its curves measure goodput under faults, not CNF bandwidth, so it
+    must not contaminate the paper figures.  Returns ``(plain, chaos)``.
+    """
+    plain: list[RunResult] = []
+    chaos: list[RunResult] = []
+    for result in results:
+        rel = getattr(result.telemetry, "reliability", None) or {}
+        (chaos if "storm" in rel else plain).append(result)
+    return plain, chaos
+
+
+@dataclass
+class ReliabilityCurve:
+    """One configuration's fault-rate curve from a chaos campaign.
+
+    ``points`` are ``(fault_rate, goodput_fraction, retransmit_overhead,
+    given_up, dropped)`` rows, load-averaged per fault rate and sorted
+    by fault rate.
+    """
+
+    label: str
+    points: list[tuple[float, float, float, int, int]] = field(default_factory=list)
+
+
+def reliability_curves(results: list[RunResult]) -> list[ReliabilityCurve]:
+    """Aggregate chaos runs into goodput-degradation curves.
+
+    Runs sharing (network, shape, algorithm, vcs, repair time) form one
+    curve; within it every fault rate averages its load grid — the same
+    aggregation :func:`repro.experiments.chaos.degradation_rows` applies
+    campaign-side, recomputed here from the ledger so the scorecard
+    needs only run documents.
+    """
+    groups: dict[tuple, dict[float, list[RunResult]]] = {}
+    for result in results:
+        rel = getattr(result.telemetry, "reliability", None) or {}
+        storm = rel.get("storm")
+        if storm is None:
+            continue
+        c = result.config
+        key = (c.network, c.k, c.n, c.algorithm, c.vcs, storm["repair_cycles"])
+        groups.setdefault(key, {}).setdefault(storm["fault_rate"], []).append(result)
+    curves = []
+    for (network, k, n, algorithm, vcs, repair), rates in sorted(groups.items()):
+        label = f"{network} {k}-ary {n}-dim, {_series_label(algorithm, vcs)}"
+        if repair:
+            label += f", repair {repair} cyc"
+        curve = ReliabilityCurve(label=label)
+        for rate, runs in sorted(rates.items()):
+            curve.points.append(
+                (
+                    rate,
+                    sum(r.goodput_fraction for r in runs) / len(runs),
+                    sum(r.retransmit_overhead for r in runs) / len(runs),
+                    sum(r.given_up_packets for r in runs),
+                    sum(r.dropped_packets for r in runs),
+                )
+            )
+        curves.append(curve)
+    return curves
+
+
 def figures_from_results(
     results: list[RunResult], tol: float = DEFAULT_TOLERANCE
 ) -> list[ScorecardFigure]:
@@ -362,6 +430,71 @@ def _figure_svg(fig: ScorecardFigure) -> str:
     return "\n".join(parts)
 
 
+def _reliability_svg(curves: list[ReliabilityCurve]) -> str:
+    """Goodput-degradation and retransmit-overhead panels (one ``<svg>``)."""
+    rates = [p[0] for c in curves for p in c.points]
+    goodput = [p[1] for c in curves for p in c.points]
+    overhead = [p[2] for c in curves for p in c.points]
+    x_hi = (max(rates) * 1.1) if max(rates, default=0.0) else 0.25
+    g_hi = (max(goodput) * 1.15) if goodput else 1.0
+    o_hi = (max(overhead) * 1.15) if max(overhead, default=0.0) else 0.1
+
+    left = _Panel(0.0, x_hi, 0.0, g_hi, _MARGIN_L)
+    right = _Panel(0.0, x_hi, 0.0, o_hi, _MARGIN_L + _PANEL_W + _PANEL_GAP)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {_SVG_W} {_SVG_H}" '
+        f'width="{_SVG_W}" height="{_SVG_H}" role="img">'
+    ]
+    parts += left.frame("end-to-end goodput", "fault rate (fraction of channels)",
+                        "goodput (fraction of capacity)")
+    parts += right.frame("retransmit overhead", "fault rate (fraction of channels)",
+                         "retransmitted / injected")
+    for i, curve in enumerate(curves):
+        color = _PALETTE[i % len(_PALETTE)]
+        parts += left.polyline([(p[0], p[1]) for p in curve.points], color)
+        parts += right.polyline([(p[0], p[2]) for p in curve.points], color)
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _reliability_section(curves: list[ReliabilityCurve]) -> list[str]:
+    """The chaos-campaign panel: curves, legend and accounting table."""
+    parts = ["<h2>Reliability under fail-stop fault storms</h2>"]
+    parts.append(
+        '<p class="muted">Randomized fail-stop link faults destroy in-flight '
+        "worms; the source-side reliable transport recovers them by timeout "
+        "and retransmission.  Goodput counts first-copy payload only; each "
+        "point averages a chaos campaign's offered-load grid.</p>"
+    )
+    legend = []
+    for i, curve in enumerate(curves):
+        color = _PALETTE[i % len(_PALETTE)]
+        legend.append(
+            f'<span><i class="swatch" style="background:{color}"></i>'
+            f"{html.escape(curve.label)}</span>"
+        )
+    parts.append(f'<p class="legend">{"".join(legend)}</p>')
+    parts.append(_reliability_svg(curves))
+    parts.append("<table>")
+    parts.append(
+        "<tr><th>configuration</th><th>fault rate</th><th>goodput</th>"
+        "<th>retransmit overhead</th><th>given up</th><th>dropped</th></tr>"
+    )
+    for curve in curves:
+        for rate, goodput, overhead, gave_up, dropped in curve.points:
+            gave_up_cls = "num" if gave_up == 0 else "num warn"
+            parts.append(
+                f"<tr><td>{html.escape(curve.label)}</td>"
+                f'<td class="num">{rate:.2f}</td>'
+                f'<td class="num">{goodput:.3f}</td>'
+                f'<td class="num">{overhead:.1%}</td>'
+                f'<td class="{gave_up_cls}">{gave_up}</td>'
+                f'<td class="num">{dropped}</td></tr>'
+            )
+    parts.append("</table>")
+    return parts
+
+
 _CSS = """
 body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 960px;
        color: #1a1a2e; background: #fff; }
@@ -474,13 +607,16 @@ def render_scorecard(
     figures: list[ScorecardFigure],
     title: str = "Reproduction scorecard",
     forensics: dict[str, tuple[str, dict]] | None = None,
+    reliability: list[ReliabilityCurve] | None = None,
 ) -> str:
     """The full self-contained HTML document for a set of figures.
 
     ``forensics`` maps figure titles to ``(run label, forensics
     document)`` pairs (see :func:`forensics_by_figure`); matching
     figures gain a latency-breakdown panel and a link-hotspot heatmap
-    under their CNF panels.
+    under their CNF panels.  ``reliability`` curves (from
+    :func:`reliability_curves`) append the chaos-campaign
+    goodput-degradation panel after the figures.
     """
     scored = [f.score for f in figures if f.score is not None]
     overall = sum(scored) / len(scored) if scored else None
@@ -519,6 +655,8 @@ def render_scorecard(
         extra = (forensics or {}).get(fig.title)
         if extra is not None:
             parts += _forensics_section(*extra)
+    if reliability:
+        parts += _reliability_section(reliability)
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -533,11 +671,19 @@ def write_scorecard(
 
     Results carrying a forensics document (``--forensics`` runs) add
     latency-breakdown and hotspot-heatmap panels to their figures.
-    Returns the figures (with fidelity populated) for programmatic use.
+    Chaos-campaign runs are partitioned out of the paper figures into
+    the reliability panel (goodput degradation vs fault rate).  Returns
+    the figures (with fidelity populated) for programmatic use.
     """
-    figures = figures_from_results(results, tol)
+    plain, chaos = partition_reliability(results)
+    figures = figures_from_results(plain, tol) if plain else []
     pathlib.Path(path).write_text(
-        render_scorecard(figures, title, forensics=forensics_by_figure(results)),
+        render_scorecard(
+            figures,
+            title,
+            forensics=forensics_by_figure(plain),
+            reliability=reliability_curves(chaos),
+        ),
         encoding="utf-8",
     )
     return figures

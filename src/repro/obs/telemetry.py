@@ -65,6 +65,11 @@ class RunTelemetry:
             was instrumented with a
             :class:`~repro.obs.forensics.ForensicsProbe`; ``None`` for
             uninstrumented runs and older archives.
+        reliability: the reliable-transport accounting document (message
+            states, retransmissions, ack latencies — and, for chaos
+            campaign points, the fault-storm recipe under ``"storm"``)
+            attached by :func:`repro.traffic.transport.attach_reliability`;
+            ``None`` for runs without the transport and older archives.
     """
 
     config_hash: str
@@ -75,6 +80,7 @@ class RunTelemetry:
     peak_in_flight: int
     phase_seconds: dict[str, float] | None = None
     forensics: dict | None = None
+    reliability: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON documents."""
@@ -95,6 +101,8 @@ class RunTelemetry:
             phase_seconds=doc.get("phase_seconds"),
             # absent from pre-forensics archives and uninstrumented runs
             forensics=doc.get("forensics"),
+            # absent from pre-reliability archives and transportless runs
+            reliability=doc.get("reliability"),
         )
 
     def summary(self) -> str:

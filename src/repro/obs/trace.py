@@ -27,8 +27,9 @@ from dataclasses import asdict, dataclass
 
 from .probe import Probe
 
-#: event kinds, in lifecycle order (blocked is fabric-side, unordered)
-EVENT_KINDS = ("generate", "inject", "route", "head", "tail", "blocked")
+#: event kinds, in lifecycle order (drop ends a packet's life instead of
+#: tail under fail-stop faults; blocked is fabric-side, unordered)
+EVENT_KINDS = ("generate", "inject", "route", "head", "tail", "drop", "blocked")
 
 
 @dataclass(frozen=True)
@@ -122,6 +123,14 @@ class TraceProbe(Probe):
             )
         )
 
+    def on_packet_dropped(self, cycle: int, packet, reason: str) -> None:
+        self._emit(
+            TraceEvent(
+                cycle=cycle, kind="drop", pid=packet.pid,
+                src=packet.src, dst=packet.dst, size=packet.size,
+            )
+        )
+
     def on_direction_blocked(self, cycle: int, direction) -> None:
         if not self.record_blocked:
             return
@@ -185,16 +194,20 @@ class TraceProbe(Probe):
                         "args": {"packet": ev.pid, "port": ev.port, "vc": ev.vc},
                     }
                 )
-            elif ev.kind == "tail":
+            elif ev.kind in ("tail", "drop"):
                 start = inject.pop(ev.pid, None)
                 ts = start.cycle if start is not None else ev.cycle
+                delivered = ev.kind == "tail"
+                name = f"pkt {ev.pid} {ev.src}->{ev.dst}"
+                if not delivered:
+                    name += " (dropped)"
                 out.append(
                     {
-                        "name": f"pkt {ev.pid} {ev.src}->{ev.dst}",
+                        "name": name,
                         "ph": "X", "ts": ts, "dur": max(ev.cycle - ts, 1),
                         "pid": 0, "tid": ev.src,
                         "args": {"packet": ev.pid, "dst": ev.dst,
-                                 "size": ev.size, "delivered": True},
+                                 "size": ev.size, "delivered": delivered},
                     }
                 )
             elif ev.kind == "blocked":

@@ -40,7 +40,7 @@ from ..topology.cube import KAryNCube
 from ..traffic.generator import BernoulliInjector
 from .config import SimulationConfig
 from .diagnostics import capture_snapshot
-from .packet import Packet
+from .packet import FAULT_SENTINEL, Packet
 from .results import RunResult
 
 #: effectively infinite credit for ejection channels (the node consumes
@@ -137,6 +137,9 @@ class Engine:
         self.delivered_packets_total = 0
         self.injected_flits_total = 0
         self.delivered_flits_total = 0
+        #: worms destroyed in flight by fail-stop faults (kill_packet)
+        self.dropped_packets_total = 0
+        self.dropped_flits_total = 0
         self.result = RunResult(config=config, measured_cycles=config.total_cycles - config.warmup_cycles)
         #: flits delivered to each node during the measurement window
         #: (fairness/hotspot analyses)
@@ -450,7 +453,11 @@ class Engine:
                 node.lane = lane
                 self.injected_packets_total += 1
                 self.injected_flits_total += 1
-                in_flight = self.injected_packets_total - self.delivered_packets_total
+                in_flight = (
+                    self.injected_packets_total
+                    - self.delivered_packets_total
+                    - self.dropped_packets_total
+                )
                 if in_flight > self._peak_in_flight:
                     self._peak_in_flight = in_flight
                 if warm:
@@ -652,8 +659,99 @@ class Engine:
         return DeadlockError(f"{message}\n{snapshot.describe()}", snapshot=snapshot)
 
     def in_flight_packets(self) -> int:
-        """Packets injected but not yet fully delivered."""
-        return self.injected_packets_total - self.delivered_packets_total
+        """Packets injected but neither delivered nor dropped."""
+        return (
+            self.injected_packets_total
+            - self.delivered_packets_total
+            - self.dropped_packets_total
+        )
+
+    def kill_packet(self, pkt: Packet, reason: str = "fault") -> int:
+        """Tear down an in-flight worm (fail-stop fault semantics).
+
+        Flushes every flit of ``pkt`` still buffered in the network,
+        releases all input, output and ejection lanes it holds, restores
+        the credit counters of the flushed lane pairs, unbinds it from
+        the crossbar and the routing queues, and stops the source if the
+        worm was still streaming in (the unstreamed remainder is never
+        injected, so flit conservation holds).  The drop is stamped on
+        the packet, counted in the engine totals and the measurement
+        window, and reported through ``on_packet_dropped``.
+
+        Safe to call from a cycle hook: hooks fire before the link phase
+        so no phase iteration is in progress.
+
+        Returns:
+            The number of flits flushed from the network (0 when the
+            packet already left it — delivered or previously dropped).
+
+        Raises:
+            SimulationError: when asked to kill the fault sentinel.
+        """
+        if pkt is FAULT_SENTINEL:
+            raise SimulationError("cannot kill the fault sentinel")
+        if pkt.delivered >= 0 or pkt.dropped >= 0:
+            return 0
+        t = self.cycle
+        flushed = 0
+
+        node = self.nodes[pkt.src]
+        if node.packet is pkt:
+            node.packet = None
+            node.lane = None
+            node.sent = 0
+
+        victims: list[InputLane] = []
+        for switch_ports in self.in_lanes:
+            for port_lanes in switch_ports:
+                for lane in port_lanes:
+                    if lane.packet is pkt:
+                        victims.append(lane)
+        dead = {id(lane) for lane in victims if lane.bound is not None}
+        if dead:
+            self.bindings[:] = [b for b in self.bindings if id(b) not in dead]
+        for lane in victims:
+            if lane.bound is None:
+                # an unbound header is still waiting in the routing queue
+                pend = self.pending[lane.switch]
+                if lane in pend:
+                    pend.remove(lane)
+            flushed += lane.received - lane.forwarded
+            lane.packet = None
+            lane.received = 0
+            lane.forwarded = 0
+            lane.bound = None
+            if lane.src_out is not None:
+                # the (output lane -> input lane) pair carries a single
+                # packet, so after the flush the downstream buffer is
+                # empty and the upstream credit counter returns to cap
+                lane.src_out.credits = lane.cap
+
+        for switch_ports in self.out_lanes:
+            for port_lanes in switch_ports:
+                for lane in port_lanes:
+                    if lane.packet is pkt:
+                        if lane.buffered > 0:
+                            lane.direction.nbusy -= 1
+                            flushed += lane.buffered
+                        lane.packet = None
+                        lane.buffered = 0
+                        lane.sent = 0
+
+        for ej in self.eject_lanes[pkt.dst]:
+            if ej.packet is pkt:
+                ej.packet = None
+                ej.received = 0
+
+        pkt.dropped = t
+        self.dropped_packets_total += 1
+        self.dropped_flits_total += flushed
+        if pkt.injected >= self.config.warmup_cycles:
+            self.result.dropped_packets += 1
+            self.result.dropped_flits += flushed
+        if self.probe is not None:
+            self.probe.on_packet_dropped(t, pkt, reason)
+        return flushed
 
     def unrouted_headers(self):
         """Yield every input lane holding a header that routing has not
@@ -709,9 +807,14 @@ class Engine:
                             )
                     buffered_flits += lane.buffered
         # delivered_flits_total counts every ejected flit (including those
-        # of packets still partially in flight), so what remains in the
+        # of packets still partially in flight) and dropped_flits_total
+        # every flit flushed by a fail-stop kill, so what remains in the
         # network is exactly the sum of lane buffers.
-        in_network = self.injected_flits_total - self.delivered_flits_total
+        in_network = (
+            self.injected_flits_total
+            - self.delivered_flits_total
+            - self.dropped_flits_total
+        )
         if buffered_flits != in_network:
             raise SimulationError(
                 f"flit conservation violated: buffered={buffered_flits}, "

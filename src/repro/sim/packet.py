@@ -9,7 +9,10 @@ paper's metrics:
 * ``created`` — cycle the source process generated it;
 * ``injected`` — cycle the header entered the injection lane (the start of
   the paper's network latency, which excludes source queueing);
-* ``delivered`` — cycle the tail reached the destination node.
+* ``delivered`` — cycle the tail reached the destination node;
+* ``dropped`` — cycle a fail-stop fault killed the worm in flight (-1
+  for the lossless default; a packet is never both delivered and
+  dropped).
 """
 
 from __future__ import annotations
@@ -27,6 +30,7 @@ class Packet:
         "injected",
         "head_delivered",
         "delivered",
+        "dropped",
     )
 
     def __init__(self, pid: int, src: int, dst: int, size: int, created: int):
@@ -40,6 +44,8 @@ class Packet:
         #: head latency from tail latency for the flow-control analysis)
         self.head_delivered = -1
         self.delivered = -1
+        #: cycle a fail-stop fault destroyed the worm in flight
+        self.dropped = -1
 
     @property
     def network_latency(self) -> int:

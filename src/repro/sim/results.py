@@ -39,6 +39,18 @@ class RunResult:
         latency_sum / latency_max: over the latency sample set.
         latencies: per-packet samples when ``config.collect_latencies``.
         in_flight_at_end: packets still in the network when the run halted.
+        dropped_packets / dropped_flits: worms destroyed in the window by
+            fail-stop faults (``Engine.kill_packet``) and the flits
+            flushed with them; always 0 under the lossless default.
+        retransmitted_packets: copies re-injected by the reliable
+            transport after a timeout (window-scoped, like injections).
+        duplicate_packets: deliveries the transport's sink-side filter
+            suppressed as duplicates of an already-delivered message.
+        given_up_packets: messages the transport abandoned after
+            exhausting its retry budget.
+        goodput_flits: flits of *first-copy* deliveries in the window —
+            the useful payload, excluding duplicates and (by
+            construction) retransmitted copies of lost worms.
         telemetry: provenance/performance record attached by the engine
             when the run completes (config digest, seed, wall clock,
             cycles/sec, peak in-flight); ``None`` for hand-built results.
@@ -55,6 +67,12 @@ class RunResult:
     latency_max: int = 0
     latencies: list[int] = field(default_factory=list)
     in_flight_at_end: int = 0
+    dropped_packets: int = 0
+    dropped_flits: int = 0
+    retransmitted_packets: int = 0
+    duplicate_packets: int = 0
+    given_up_packets: int = 0
+    goodput_flits: int = 0
     #: delivered flits per interval of ``config.interval_cycles`` cycles
     #: (empty unless that option is set); trailing partial intervals are
     #: dropped
@@ -98,6 +116,45 @@ class RunResult:
     def accepted_fraction(self) -> float:
         """Accepted bandwidth as a fraction of capacity (CNF y-axis)."""
         return self.accepted_flits_per_cycle / self.config.capacity_flits_per_cycle
+
+    @property
+    def goodput_flits_per_cycle(self) -> float:
+        """First-copy delivered payload per node (flits/cycle).
+
+        The reliability counterpart of :attr:`accepted_flits_per_cycle`:
+        duplicates and retransmitted copies carry no new payload, so
+        under faults goodput <= accepted bandwidth.  0.0 when the
+        measurement window is empty, and equal to the accepted bandwidth
+        when no reliable transport is attached (``goodput_flits`` stays
+        0 then, so callers should gate on :attr:`reliable`).
+        """
+        if self.measured_cycles <= 0:
+            return 0.0
+        return self.goodput_flits / (self.measured_cycles * self.config.num_nodes)
+
+    @property
+    def goodput_fraction(self) -> float:
+        """First-copy goodput as a fraction of network capacity."""
+        return self.goodput_flits_per_cycle / self.config.capacity_flits_per_cycle
+
+    @property
+    def reliable(self) -> bool:
+        """True when a reliable transport accounted this run (any of the
+        transport counters moved, or first-copy goodput was recorded)."""
+        return bool(
+            self.goodput_flits
+            or self.retransmitted_packets
+            or self.duplicate_packets
+            or self.given_up_packets
+        )
+
+    @property
+    def retransmit_overhead(self) -> float:
+        """Retransmitted copies per injected packet in the window (0.0
+        for an empty window or a run without the transport)."""
+        if self.injected_packets <= 0:
+            return 0.0
+        return self.retransmitted_packets / self.injected_packets
 
     @property
     def avg_latency_cycles(self) -> float:
@@ -175,8 +232,17 @@ class RunResult:
             lat = f"{self.avg_latency_cycles:.1f}"
         except AnalysisError:
             lat = "n/a"
-        return (
+        line = (
             f"{self.config.label()}: offered={self.offered_fraction:.3f} "
             f"accepted={self.accepted_fraction:.3f} latency={lat}cyc "
             f"delivered={self.delivered_packets}"
         )
+        if self.dropped_packets:
+            line += f" dropped={self.dropped_packets}"
+        if self.reliable:
+            line += (
+                f" goodput={self.goodput_fraction:.3f} "
+                f"retx={self.retransmitted_packets} "
+                f"gave_up={self.given_up_packets}"
+            )
+        return line

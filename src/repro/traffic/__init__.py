@@ -9,6 +9,9 @@ Public surface:
   (shuffle, butterfly, tornado, neighbor, hotspot).
 * :mod:`repro.traffic.generator` — Bernoulli packet injection processes at
   a given fraction of network capacity.
+* :mod:`repro.traffic.transport` — source-side reliable transport
+  (sequence numbers, modeled ACKs, timeout retransmission, duplicate
+  suppression) for exactly-once delivery under fail-stop faults.
 """
 
 from .address import (
@@ -20,6 +23,13 @@ from .address import (
     node_to_digits,
 )
 from .generator import BernoulliInjector, PacketSource
+from .transport import (
+    ReliableSource,
+    ReliableTransport,
+    TransportConfig,
+    attach_reliability,
+    simulate_reliable,
+)
 from .patterns import (
     PATTERNS,
     BitComplementPattern,
@@ -45,6 +55,11 @@ __all__ = [
     "node_to_digits",
     "BernoulliInjector",
     "PacketSource",
+    "ReliableSource",
+    "ReliableTransport",
+    "TransportConfig",
+    "attach_reliability",
+    "simulate_reliable",
     "PATTERNS",
     "BitComplementPattern",
     "BitReversalPattern",

@@ -1,0 +1,429 @@
+"""Source-side reliable transport: exactly-once delivery over a lossy
+network.
+
+The engine's fail-stop fault mode (:class:`~repro.faults.FaultPolicy`)
+destroys in-flight worms, which breaks the lossless assumption every
+metric in the paper rests on.  This module restores end-to-end delivery
+above the network, with the textbook ARQ machinery scaled down to the
+flit-level model:
+
+* **sequence numbers** — each source stamps a per-destination sequence
+  number on every message, so the sink can identify retransmitted
+  copies of the same message regardless of packet ids;
+* **ACK return path** — a delivered first copy triggers an acknowledgment
+  that arrives back at the source after a configurable modeled delay
+  (the reverse path is not simulated flit-by-flit: ACKs are tiny and
+  the paper's networks are symmetric, so a fixed delay is the honest
+  abstraction);
+* **timeout + retransmission** — every transmitted copy arms a timer;
+  on expiry without an ACK the source re-enqueues the message, backing
+  off exponentially with deterministic jitter to avoid retry storms;
+* **retry budget** — after ``1 + max_retries`` transmissions the source
+  gives the message up and records it (the bounded-loss escape hatch
+  that keeps a dead destination from pinning the source forever);
+* **duplicate suppression** — the sink counts every delivery after the
+  first as a duplicate, so *goodput* (first-copy payload) is reported
+  separately from raw accepted bandwidth.
+
+:class:`ReliableTransport` is an ordinary
+:class:`~repro.obs.probe.Probe`: it observes injections, deliveries and
+drops, and drives its timer wheel from ``on_cycle``.  It wraps every
+node's :class:`~repro.traffic.generator.PacketSource` in a
+:class:`ReliableSource` so retransmissions travel the normal
+single-injection-channel path and ``run_until_drained`` waits for the
+protocol (not just the network) to quiesce.
+
+Everything is deterministic given the transport seed: the only random
+element is the retry jitter, drawn from a dedicated
+:class:`random.Random` stream.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+from collections import deque
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+from ..obs.probe import MultiProbe, Probe
+
+
+@dataclass(frozen=True)
+class TransportConfig:
+    """Tuning knobs of the reliable transport.
+
+    Attributes:
+        ack_delay: modeled cycles for an acknowledgment to travel back
+            from the sink to the source.
+        base_timeout: retransmission timer for the first copy, in
+            cycles; should comfortably exceed the uncontended round
+            trip (delivery latency + ``ack_delay``).
+        backoff: multiplicative timer growth per retry (>= 1.0).
+        jitter: maximum extra cycles added to each timer, drawn
+            uniformly from ``[0, jitter]`` (decorrelates retry storms).
+        max_retries: retransmissions allowed per message before the
+            source gives it up; the total transmission budget is
+            ``1 + max_retries``.
+        seed: seed of the transport's dedicated jitter stream.
+    """
+
+    ack_delay: int = 8
+    base_timeout: int = 64
+    backoff: float = 2.0
+    jitter: int = 4
+    max_retries: int = 4
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ack_delay < 1:
+            raise ConfigurationError(f"ack_delay must be >= 1, got {self.ack_delay}")
+        if self.base_timeout < 1:
+            raise ConfigurationError(
+                f"base_timeout must be >= 1, got {self.base_timeout}"
+            )
+        if self.backoff < 1.0:
+            raise ConfigurationError(f"backoff must be >= 1.0, got {self.backoff}")
+        if self.jitter < 0:
+            raise ConfigurationError(f"jitter must be >= 0, got {self.jitter}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+
+
+class _Message:
+    """Transport state of one application message."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "seq",
+        "size",
+        "created",
+        "attempts",
+        "acked",
+        "gave_up",
+        "delivered_first",
+        "deadline",
+    )
+
+    def __init__(self, src: int, dst: int, seq: int, size: int, created: int):
+        self.src = src
+        self.dst = dst
+        self.seq = seq
+        self.size = size
+        self.created = created
+        #: transmissions so far (0 while the first copy waits to inject)
+        self.attempts = 0
+        self.acked = False
+        self.gave_up = False
+        #: cycle the first copy's tail reached the sink (-1 = never)
+        self.delivered_first = -1
+        #: armed retransmission deadline (lazy heap invalidation tag)
+        self.deadline = -1
+
+
+class ReliableSource:
+    """A :class:`~repro.traffic.generator.PacketSource` wrapped for
+    reliable delivery.
+
+    Presents the same protocol the engine's injection phase consumes
+    (``advance``/``queue``/``done``/``pending``/``active``), draining
+    the inner source's queue into its own while registering one
+    :class:`_Message` per entry with the transport, in queue order.
+    Retransmissions are appended by the transport and travel the same
+    path.  ``done()`` additionally waits for every registered message to
+    resolve (ACK or give-up), so ``run_until_drained`` covers protocol
+    quiescence.
+    """
+
+    __slots__ = ("inner", "node", "queue", "active", "transport")
+
+    def __init__(self, inner, transport: "ReliableTransport"):
+        self.inner = inner
+        self.node = inner.node
+        #: entries the engine pops: (created, dst) or (created, dst, size)
+        self.queue: deque[tuple] = deque()
+        self.active = inner.active
+        self.transport = transport
+
+    def advance(self, cycle: int) -> int:
+        created = self.inner.advance(cycle)
+        inner_queue = self.inner.queue
+        while inner_queue:
+            entry = inner_queue.popleft()
+            self.transport.register(self.node, entry)
+            self.queue.append(entry)
+        return created
+
+    def done(self) -> bool:
+        return (
+            self.inner.done()
+            and not self.queue
+            and self.transport.unresolved(self.node) == 0
+        )
+
+    def pending(self) -> int:
+        return len(self.queue)
+
+
+class ReliableTransport(Probe):
+    """The protocol engine: per-node sources, timer wheel, accounting.
+
+    Attach with :meth:`install`; afterwards every measurement-window
+    counter (retransmissions, duplicates, give-ups, goodput) lands on
+    the run's :class:`~repro.sim.results.RunResult` and the full
+    accounting document on ``telemetry.reliability`` via
+    :func:`attach_reliability`.
+    """
+
+    #: timer-wheel event kinds
+    _ACK = 0
+    _TIMEOUT = 1
+
+    def __init__(self, config: TransportConfig | None = None):
+        self.config = config or TransportConfig()
+        self.engine = None
+        self._warmup = 0
+        self._default_size = 1
+        #: per-node FIFO of registered messages awaiting injection,
+        #: aligned with the wrapper queue order
+        self._fifo: dict[int, deque[_Message]] = {}
+        #: pid of the copy currently in the network -> its message
+        self._by_pid: dict[int, _Message] = {}
+        #: per-(src, dst) next sequence number
+        self._next_seq: dict[tuple[int, int], int] = {}
+        #: per-node messages registered but not yet ACKed or given up
+        self._unresolved: dict[int, int] = {}
+        #: (due_cycle, tiebreak, kind, message, deadline_tag)
+        self._events: list[tuple] = []
+        self._counter = 0
+        self._rng = None  # seeded in install (import cycle-free)
+        # whole-run totals (the summary document; RunResult carries the
+        # measurement-window view)
+        self.messages = 0
+        self.acked = 0
+        self.gave_up = 0
+        self.retransmissions = 0
+        self.duplicates = 0
+        self.late_acks = 0
+        self.drops_seen = 0
+        self.max_attempts = 0
+
+    # -- wiring ---------------------------------------------------------------
+
+    def install(self, engine) -> "ReliableTransport":
+        """Wrap every node source of ``engine`` and attach as a probe.
+
+        Composes with an already-attached probe through
+        :class:`~repro.obs.probe.MultiProbe` without re-binding it.
+        Returns ``self`` so construction chains.
+        """
+        import random
+
+        if self.engine is not None:
+            raise ConfigurationError("this transport is already installed")
+        self._rng = random.Random(self.config.seed)
+        for node in engine.nodes:
+            if isinstance(node.source, ReliableSource):
+                raise ConfigurationError(
+                    f"node {node.nid} already has a reliable source"
+                )
+            node.source = ReliableSource(node.source, self)
+        if engine.probe is None:
+            engine.attach_probe(self)
+        else:
+            # the existing probe is already bound; bind only ourselves
+            engine.probe = MultiProbe([engine.probe, self])
+            self.bind(engine)
+        return self
+
+    def bind(self, engine) -> None:
+        self.engine = engine
+        self._warmup = engine.config.warmup_cycles
+        self._default_size = engine.config.packet_flits
+        self._fifo = {node.nid: deque() for node in engine.nodes}
+        self._unresolved = {node.nid: 0 for node in engine.nodes}
+
+    # -- source-side registry -------------------------------------------------
+
+    def register(self, node: int, entry: tuple) -> _Message:
+        """Register one source-queue entry as a tracked message."""
+        created, dst = entry[0], entry[1]
+        size = entry[2] if len(entry) > 2 else self._default_size
+        key = (node, dst)
+        seq = self._next_seq.get(key, 0)
+        self._next_seq[key] = seq + 1
+        msg = _Message(node, dst, seq, size, created)
+        self._fifo[node].append(msg)
+        self._unresolved[node] += 1
+        self.messages += 1
+        return msg
+
+    def unresolved(self, node: int) -> int:
+        """Messages of ``node`` not yet ACKed or given up."""
+        return self._unresolved[node]
+
+    def total_unresolved(self) -> int:
+        return sum(self._unresolved.values())
+
+    # -- probe events ---------------------------------------------------------
+
+    def on_packet_injected(self, cycle: int, packet) -> None:
+        fifo = self._fifo[packet.src]
+        if not fifo:
+            return  # untracked (e.g. preloaded directly onto the queue)
+        head = fifo[0]
+        if head.dst != packet.dst or head.size != packet.size:
+            return  # foreign entry interleaved; leave the registry alone
+        msg = fifo.popleft()
+        self._by_pid[packet.pid] = msg
+        if msg.attempts > 0:
+            self.retransmissions += 1
+            if cycle >= self._warmup:
+                self.engine.result.retransmitted_packets += 1
+        msg.attempts += 1
+        if msg.attempts > self.max_attempts:
+            self.max_attempts = msg.attempts
+        self._arm_timeout(cycle, msg)
+
+    def on_tail_delivered(self, cycle: int, packet) -> None:
+        msg = self._by_pid.pop(packet.pid, None)
+        if msg is None:
+            return
+        if msg.delivered_first < 0:
+            msg.delivered_first = cycle
+            if cycle >= self._warmup:
+                self.engine.result.goodput_flits += msg.size
+            self._push(cycle + self.config.ack_delay, self._ACK, msg, -1)
+        else:
+            self.duplicates += 1
+            if cycle >= self._warmup:
+                self.engine.result.duplicate_packets += 1
+
+    def on_packet_dropped(self, cycle: int, packet, reason: str) -> None:
+        # the copy died in the network; recovery is timer-driven (the
+        # source cannot observe a mid-network kill), so just unmap it
+        if self._by_pid.pop(packet.pid, None) is not None:
+            self.drops_seen += 1
+
+    def on_cycle(self, cycle: int) -> None:
+        events = self._events
+        while events and events[0][0] <= cycle:
+            _, _, kind, msg, tag = heapq.heappop(events)
+            if kind == self._ACK:
+                self._handle_ack(msg)
+            else:
+                self._handle_timeout(cycle, msg, tag)
+
+    # -- timer wheel ----------------------------------------------------------
+
+    def _push(self, due: int, kind: int, msg: _Message, tag: int) -> None:
+        self._counter += 1
+        heapq.heappush(self._events, (due, self._counter, kind, msg, tag))
+
+    def _arm_timeout(self, cycle: int, msg: _Message) -> None:
+        timeout = self.config.base_timeout * self.config.backoff ** (
+            msg.attempts - 1
+        )
+        due = cycle + int(timeout) + (
+            self._rng.randint(0, self.config.jitter) if self.config.jitter else 0
+        )
+        msg.deadline = due
+        self._push(due, self._TIMEOUT, msg, due)
+
+    def _handle_ack(self, msg: _Message) -> None:
+        if msg.acked:
+            return
+        if msg.gave_up:
+            # the source had already written the message off; the sink
+            # did get it, so the loss is accounting-only — record it
+            self.late_acks += 1
+            return
+        msg.acked = True
+        msg.deadline = -1  # disarms any outstanding timer (lazy)
+        self._unresolved[msg.src] -= 1
+        self.acked += 1
+
+    def _handle_timeout(self, cycle: int, msg: _Message, tag: int) -> None:
+        if msg.acked or msg.gave_up or msg.deadline != tag:
+            return  # stale timer: ACKed, resolved, or superseded
+        if msg.attempts > self.config.max_retries:
+            msg.gave_up = True
+            msg.deadline = -1
+            self._unresolved[msg.src] -= 1
+            self.gave_up += 1
+            if cycle >= self._warmup:
+                self.engine.result.given_up_packets += 1
+            return
+        # re-enqueue through the normal injection path; the timer for
+        # the new copy is armed when it actually injects
+        msg.deadline = -1
+        entry = (cycle, msg.dst, msg.size)
+        self._fifo[msg.src].append(msg)
+        node = self.engine.nodes[msg.src]
+        node.source.queue.append(entry)
+
+    # -- reporting ------------------------------------------------------------
+
+    def pending_messages(self) -> int:
+        """Messages still unresolved (queued, in flight, or timed)."""
+        return self.total_unresolved()
+
+    def summary(self) -> dict:
+        """The reliability accounting document (``telemetry.reliability``).
+
+        The source-side invariant ``messages == acked + gave_up +
+        pending`` holds at any instant; ``exactly_once`` restates it for
+        a quiesced run (no pending) together with sink-side uniqueness,
+        which duplicate suppression guarantees by construction.
+        """
+        cfg = dataclasses.asdict(self.config)
+        return {
+            "transport": cfg,
+            "messages": self.messages,
+            "acked": self.acked,
+            "gave_up": self.gave_up,
+            "pending": self.total_unresolved(),
+            "retransmissions": self.retransmissions,
+            "duplicates": self.duplicates,
+            "late_acks": self.late_acks,
+            "drops_seen": self.drops_seen,
+            "max_attempts": self.max_attempts,
+        }
+
+
+def attach_reliability(result, transport: ReliableTransport, extra: dict | None = None):
+    """Fold ``transport``'s accounting document into ``result.telemetry``.
+
+    ``extra`` entries (e.g. a chaos campaign's storm recipe) are merged
+    into the document.  Returns the result; a result with no telemetry
+    is returned unchanged (telemetry is frozen, so it is replaced).
+    """
+    if result.telemetry is not None:
+        doc = transport.summary()
+        if extra:
+            doc.update(extra)
+        result.telemetry = dataclasses.replace(result.telemetry, reliability=doc)
+    return result
+
+
+def simulate_reliable(
+    config,
+    transport_config: TransportConfig | None = None,
+    probe=None,
+):
+    """``simulate(config)`` with the reliable transport installed.
+
+    The transport accounting lands on the result's telemetry, so it
+    survives pickling (parallel sweep workers), the run JSON document
+    and the ledger.  ``probe`` composes with the transport through
+    :class:`~repro.obs.probe.MultiProbe`.
+    """
+    from ..sim.run import build_engine
+
+    engine = build_engine(config, probe=probe)
+    transport = ReliableTransport(transport_config).install(engine)
+    result = engine.run()
+    return attach_reliability(result, transport)

@@ -72,6 +72,72 @@ def ring_config(load: float):
     )
 
 
+# -- interrupt handling ------------------------------------------------------
+#
+# Module-level so the process pool can pickle them: a simulate_fn that
+# raises KeyboardInterrupt on the high-load point, plain (the interrupt
+# arrives before the cheap points are consumed) or slow (the cheap
+# points finish first, exercising the finished-but-unconsumed flush).
+
+
+def _interrupt_above(config):
+    if config.load > 0.25:
+        raise KeyboardInterrupt
+    return simulate(config)
+
+
+def _interrupt_slowly(config):
+    if config.load > 0.25:
+        import time
+
+        time.sleep(3.0)
+        raise KeyboardInterrupt
+    return simulate(config)
+
+
+class TestInterruptedParallelSweep:
+    def test_completed_points_flushed_to_ledger(self, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(tmp_path / "runs.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                small_factory, [0.1, 0.2, 0.9], label="interrupted",
+                parallel=True, max_workers=2,
+                simulate_fn=_interrupt_above, ledger=ledger,
+            )
+        # loads 0.1 and 0.2 were consumed before the interrupt landed
+        offered = [rec["run"]["config"]["load"] for rec in ledger.records()]
+        assert offered == [0.1, 0.2]
+
+    def test_finished_but_unconsumed_points_flushed(self, tmp_path):
+        from repro.obs.ledger import Ledger
+
+        ledger = Ledger(tmp_path / "runs.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                small_factory, [0.9, 0.1, 0.2], label="interrupted",
+                parallel=True, max_workers=3,
+                simulate_fn=_interrupt_slowly, ledger=ledger,
+            )
+        # the interrupting point came *first* in submission order, so
+        # the cheap points were never consumed in the normal loop; the
+        # interrupt handler must still flush them (they had finished)
+        offered = sorted(rec["run"]["config"]["load"] for rec in ledger.records())
+        assert offered == [0.1, 0.2]
+
+    def test_next_campaign_starts_clean(self, tmp_path):
+        # the interrupt flag is campaign-scoped: a later sweep in the
+        # same process must run normally
+        with pytest.raises(KeyboardInterrupt):
+            run_sweep(
+                small_factory, [0.1, 0.9], label="interrupted",
+                parallel=True, max_workers=2, simulate_fn=_interrupt_above,
+            )
+        series = run_sweep(small_factory, [0.1, 0.2], label="clean")
+        assert series.complete and len(series.points) == 2
+
+
 class TestCustomAlgorithmRegistration:
     def test_registered_name_validates_in_config(self):
         assert "unsafe_ring" in ROUTING_ALGORITHMS
