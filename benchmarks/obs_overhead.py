@@ -18,7 +18,11 @@ short uniform-traffic run:
 * **reliable** — the source-side reliable transport installed on every
   node (sequence numbers, ACK/timeout timer wheel, wrapped sources)
   with zero faults: the protocol's fault-free overhead, gated so the
-  ARQ machinery never silently taxes lossless runs.
+  ARQ machinery never silently taxes lossless runs;
+* **congestion** — the closed congestion loop on top of the transport
+  (hot-link marker probe, per-destination AIMD windows, hold-queue
+  pump): the ``repro congestion --mode closed`` configuration, gated so
+  the loop's bookkeeping never silently regresses.
 
 It exits nonzero when the *null* overhead relative to *off* exceeds
 ``--threshold``.  The threshold is deliberately generous — per-event
@@ -79,7 +83,8 @@ def main(argv=None) -> int:
 
     entries = [
         measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
-        for spec in ("off", "null", "traced", "forensics", "reliable")
+        for spec in ("off", "null", "traced", "forensics", "reliable",
+                     "congestion")
     ]
     rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
     off = rates["off"]

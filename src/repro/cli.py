@@ -102,6 +102,12 @@ def _add_common(p: argparse.ArgumentParser, with_algo: bool = True) -> None:
     p.add_argument("--pattern", choices=sorted(PATTERNS), default="uniform")
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--profile", default=None, help="fast, default or full")
+    p.add_argument(
+        "--arbiter",
+        choices=("round_robin", "age"),
+        default="round_robin",
+        help="lane arbitration policy (age = oldest packet first)",
+    )
 
 
 def _add_observability(p: argparse.ArgumentParser) -> None:
@@ -154,6 +160,7 @@ def _make_config(args, load: float):
         seed=args.seed,
         warmup_cycles=profile.warmup_cycles,
         total_cycles=profile.total_cycles,
+        arbiter=getattr(args, "arbiter", "round_robin"),
     )
     if args.network == "tree":
         return tree_config(k=args.k or 4, n=args.n or 4, **common)
@@ -625,6 +632,95 @@ def cmd_chaos(args) -> int:
     return 0
 
 
+def cmd_congestion(args) -> int:
+    from .experiments.congestion import collapse_rows, congestion_campaign
+    from .experiments.report import render_table
+    from .traffic.transport import TransportConfig
+
+    profile = get_profile(args.profile)
+    modes = {"both": (False, True), "open": (False,), "closed": (True,)}[args.mode]
+    transport = None
+    if (
+        args.base_timeout is not None
+        or args.backoff is not None
+        or args.max_retries is not None
+    ):
+        from .experiments.chaos import default_transport
+
+        base = default_transport(profile)
+        transport = TransportConfig(
+            ack_delay=base.ack_delay,
+            base_timeout=args.base_timeout or base.base_timeout,
+            backoff=args.backoff if args.backoff is not None else base.backoff,
+            jitter=base.jitter,
+            max_retries=(
+                args.max_retries if args.max_retries is not None else base.max_retries
+            ),
+            seed=base.seed,
+        )
+    ledger = _open_ledger(args)
+    print(f"congestion campaign: {args.network}", file=sys.stderr)
+    try:
+        campaign = congestion_campaign(
+            network=args.network,
+            modes=modes,
+            max_factor=args.max_factor,
+            profile=profile,
+            vcs=args.vcs,
+            pattern=args.pattern,
+            seed=args.seed,
+            k=args.k,
+            n=args.n,
+            algorithm=args.algorithm,
+            transport=transport,
+            arbiter_closed=args.arbiter_closed,
+            parallel=args.parallel,
+            max_workers=args.workers,
+            retries=args.retries,
+            timeout=args.timeout,
+            progress=_progress_printer(),
+            ledger=ledger,
+        )
+    except KeyboardInterrupt:
+        print(
+            "interrupted: completed points were flushed to the ledger",
+            file=sys.stderr,
+        )
+        return 130
+    rows = collapse_rows(campaign)
+    if args.json:
+        print(json.dumps({"rows": rows}, indent=1))
+        return 0
+    print(
+        render_table(
+            ["mode", "arbiter", "load", "x sat", "goodput", "p99 lat",
+             "retx ovh", "gave up"],
+            [
+                [
+                    r["mode"],
+                    r["arbiter"],
+                    round(r["load"], 3),
+                    round(r["factor"], 2),
+                    round(r["goodput_fraction"], 4),
+                    r["p99_latency"],
+                    round(r["retransmit_overhead"], 4),
+                    r["given_up"],
+                ]
+                for r in rows
+            ],
+            title="overload campaign: open vs closed loop past saturation",
+        )
+    )
+    if ledger is not None:
+        print(
+            f"congestion records appended to {args.ledger}; render the "
+            f"collapse panel with: repro-net report --ledger {args.ledger} "
+            "--out scorecard.html",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def cmd_analyze(args) -> int:
     from .obs.ledger import Ledger
 
@@ -725,11 +821,13 @@ def cmd_report(args) -> int:
             f"ledger {args.ledger} holds no scorable runs "
             "(fault records are excluded unless --include-faults)"
         )
-    from .obs.report import partition_reliability
+    from .obs.report import partition_results
 
     figures = write_scorecard(results, args.out, title=args.title, tol=args.tol)
-    _, chaos = partition_reliability(results)
+    _, chaos, congestion = partition_results(results)
     extras = f" + {len(chaos)} chaos run(s)" if chaos else ""
+    if congestion:
+        extras += f" + {len(congestion)} overload run(s)"
     print(
         f"scorecard: {len(results)} runs -> {len(figures)} figure(s)"
         f"{extras} -> {args.out}"
@@ -1013,6 +1111,79 @@ def build_parser() -> argparse.ArgumentParser:
         "the goodput-degradation panel from them)",
     )
     p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
+        "congestion",
+        help="overload campaign past saturation: open vs closed loop (collapse curves)",
+    )
+    p.add_argument("--network", choices=("tree", "cube"), default="tree")
+    p.add_argument("--k", type=int, default=None, help="radix (default: paper network)")
+    p.add_argument("--n", type=int, default=None, help="dimension/levels")
+    p.add_argument(
+        "--algorithm",
+        default=None,
+        help="routing algorithm override; default per network",
+    )
+    p.add_argument("--vcs", type=int, default=4)
+    p.add_argument("--pattern", choices=sorted(PATTERNS), default="uniform")
+    p.add_argument("--seed", type=int, default=29, help="traffic seed")
+    p.add_argument("--profile", default=None, help="fast, default or full")
+    p.add_argument(
+        "--mode",
+        choices=("both", "open", "closed"),
+        default="both",
+        help="which control modes to sweep (default: both, for the contrast)",
+    )
+    p.add_argument(
+        "--max-factor",
+        type=float,
+        default=2.0,
+        help="top of the offered-load axis in saturation multiples",
+    )
+    p.add_argument(
+        "--arbiter-closed",
+        choices=("round_robin", "age"),
+        default="round_robin",
+        help="lane arbitration policy for closed-loop runs (age improves the "
+        "median past saturation but inflates the tail; default: round_robin)",
+    )
+    p.add_argument(
+        "--base-timeout",
+        type=int,
+        default=None,
+        help="transport retransmission timer in cycles (default: profile-scaled)",
+    )
+    p.add_argument(
+        "--backoff",
+        type=float,
+        default=None,
+        help="timeout backoff multiplier per retry (1.0 reproduces a naive "
+        "fixed-timer transport, the classic collapse regime; default 2.0)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="retransmissions per message before giving up (default 4)",
+    )
+    p.add_argument("--parallel", action="store_true", help="fan points over a pool")
+    p.add_argument("--workers", type=int, default=None, help="pool size")
+    p.add_argument("--retries", type=int, default=0, help="attempts per failed point")
+    p.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-point wall-clock budget in seconds (watchdog subprocess)",
+    )
+    p.add_argument("--json", action="store_true", help="emit the rows as JSON")
+    p.add_argument(
+        "--ledger",
+        default=None,
+        metavar="JSONL",
+        help="append every overload run as a kind=congestion record (report "
+        "renders the collapse panel from them)",
+    )
+    p.set_defaults(func=cmd_congestion)
 
     p = sub.add_parser(
         "analyze",

@@ -124,6 +124,7 @@ def _cache_key(config: SimulationConfig) -> tuple:
         config.warmup_cycles,
         config.total_cycles,
         config.seed,
+        config.arbiter,
     )
 
 

@@ -68,13 +68,16 @@ _LAZY = {
     "LEDGER_FORMAT_VERSION": "ledger",
     "Ledger": "ledger",
     "ledger_record": "ledger",
+    "CongestionCurve": "report",
     "PaperRef": "report",
     "ReliabilityCurve": "report",
     "ScorecardFigure": "report",
+    "congestion_curves": "report",
     "figures_from_results": "report",
     "forensics_by_figure": "report",
     "paper_reference": "report",
     "partition_reliability": "report",
+    "partition_results": "report",
     "reliability_curves": "report",
     "render_scorecard": "report",
     "write_scorecard": "report",
@@ -124,13 +127,16 @@ __all__ = [
     "MultiProbe",
     "NullProbe",
     "Probe",
+    "CongestionCurve",
     "PaperRef",
     "ReliabilityCurve",
     "ScorecardFigure",
+    "congestion_curves",
     "figures_from_results",
     "forensics_by_figure",
     "paper_reference",
     "partition_reliability",
+    "partition_results",
     "reliability_curves",
     "render_scorecard",
     "write_scorecard",

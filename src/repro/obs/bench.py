@@ -79,17 +79,25 @@ def _simulate_spec(probe: str):
     reliable transport (:mod:`repro.traffic.transport`), so its entry
     gates the fault-free protocol overhead — timer wheel, sequence
     bookkeeping, wrapped sources — on top of the engine.
+    ``"congestion"`` goes one layer further and installs the closed
+    control loop (:mod:`repro.traffic.congestion`: marker probe +
+    per-destination AIMD windows + hold queues), gating the full
+    closed-loop cost.
     """
     if probe == "reliable":
         from ..traffic.transport import simulate_reliable
 
         return simulate_reliable
+    if probe == "congestion":
+        from ..traffic.congestion import simulate_congested
+
+        return simulate_congested
     try:
         factory = PROBE_FACTORIES[probe]
     except KeyError:
         raise ConfigurationError(
-            f"unknown probe spec {probe!r} (expected 'reliable' or one of "
-            f"{sorted(PROBE_FACTORIES)})"
+            f"unknown probe spec {probe!r} (expected 'reliable', "
+            f"'congestion' or one of {sorted(PROBE_FACTORIES)})"
         ) from None
     return lambda config: simulate(config, probe=factory())
 

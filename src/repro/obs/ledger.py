@@ -47,6 +47,9 @@ def ledger_record(result: RunResult, kind: str = "run", recorded_at: float | Non
 
     Query metadata is lifted to the top level; the full versioned run
     document (config + counters + telemetry) nests under ``"run"``.
+    Reliability accounting surfaces ``given_up`` (messages the transport
+    abandoned) alongside it so give-ups are greppable straight off the
+    JSONL without unpacking the nested document.
     """
     # local import: metrics.io imports the obs package for RunTelemetry
     from ..metrics.io import run_result_to_dict
@@ -68,6 +71,7 @@ def ledger_record(result: RunResult, kind: str = "run", recorded_at: float | Non
         "n": config.n,
         "vcs": config.vcs,
         "load": config.load,
+        "given_up": result.given_up_packets,
         "run": run_result_to_dict(result),
     }
 

@@ -170,21 +170,44 @@ def forensics_by_figure(results: list[RunResult]) -> dict[str, tuple[str, dict]]
     return {title: (label, doc) for title, (_, label, doc) in chosen.items()}
 
 
+def partition_results(
+    results: list[RunResult],
+) -> tuple[list[RunResult], list[RunResult], list[RunResult]]:
+    """Split chaos and overload runs out of a result set.
+
+    A chaos run carries the storm recipe on ``telemetry.reliability``
+    and an overload run the mode document (``"overload"``); both measure
+    behaviour the paper's CNF figures do not — goodput under faults and
+    congestion collapse past saturation — so neither may contaminate
+    the paper figures (nor each other's panel).  Returns
+    ``(plain, chaos, congestion)``.
+    """
+    plain: list[RunResult] = []
+    chaos: list[RunResult] = []
+    congestion: list[RunResult] = []
+    for result in results:
+        rel = getattr(result.telemetry, "reliability", None) or {}
+        if "storm" in rel:
+            chaos.append(result)
+        elif "overload" in rel:
+            congestion.append(result)
+        else:
+            plain.append(result)
+    return plain, chaos, congestion
+
+
 def partition_reliability(
     results: list[RunResult],
 ) -> tuple[list[RunResult], list[RunResult]]:
     """Split chaos-campaign runs out of a result set.
 
-    A chaos run carries the storm recipe on ``telemetry.reliability``;
-    its curves measure goodput under faults, not CNF bandwidth, so it
-    must not contaminate the paper figures.  Returns ``(plain, chaos)``.
+    Back-compat wrapper around :func:`partition_results`: overload runs
+    land in the *plain* half here, so callers mixing congestion
+    campaigns into one ledger should prefer the three-way partition.
+    Returns ``(plain, chaos)``.
     """
-    plain: list[RunResult] = []
-    chaos: list[RunResult] = []
-    for result in results:
-        rel = getattr(result.telemetry, "reliability", None) or {}
-        (chaos if "storm" in rel else plain).append(result)
-    return plain, chaos
+    plain, chaos, congestion = partition_results(results)
+    return plain + congestion, chaos
 
 
 @dataclass
@@ -232,6 +255,71 @@ def reliability_curves(results: list[RunResult]) -> list[ReliabilityCurve]:
                     sum(r.retransmit_overhead for r in runs) / len(runs),
                     sum(r.given_up_packets for r in runs),
                     sum(r.dropped_packets for r in runs),
+                )
+            )
+        curves.append(curve)
+    return curves
+
+
+@dataclass
+class CongestionCurve:
+    """One overload mode's collapse curve from a congestion campaign.
+
+    ``points`` are ``(factor, goodput_fraction, p99_latency, given_up)``
+    rows — offered load in saturation multiples, seed-averaged per
+    factor and sorted by factor (``p99_latency`` is None when the run
+    kept no latency samples).
+    """
+
+    label: str
+    mode: str
+    saturation: float
+    points: list[tuple[float, float, float | None, int]] = field(default_factory=list)
+
+
+def congestion_curves(results: list[RunResult]) -> list[CongestionCurve]:
+    """Aggregate overload runs into congestion-collapse curves.
+
+    Runs sharing (network, shape, algorithm, vcs, mode, arbiter) form
+    one curve; within it every saturation factor averages its seeds.
+    Open- and closed-loop sweeps of the same shape therefore render as
+    two curves over one axis — the collapse comparison the campaign
+    exists to make.
+    """
+    groups: dict[tuple, dict[float, list[RunResult]]] = {}
+    sats: dict[tuple, float] = {}
+    for result in results:
+        rel = getattr(result.telemetry, "reliability", None) or {}
+        overload = rel.get("overload")
+        if overload is None:
+            continue
+        c = result.config
+        key = (
+            c.network, c.k, c.n, c.algorithm, c.vcs,
+            overload["mode"], overload["arbiter"],
+        )
+        sats[key] = overload["saturation"]
+        groups.setdefault(key, {}).setdefault(overload["factor"], []).append(result)
+    curves = []
+    for key, factors in sorted(groups.items()):
+        network, k, n, algorithm, vcs, mode, arbiter = key
+        label = (
+            f"{network} {k}-ary {n}-dim, {_series_label(algorithm, vcs)}, "
+            f"{mode} loop ({arbiter})"
+        )
+        curve = CongestionCurve(label=label, mode=mode, saturation=sats[key])
+        for factor, runs in sorted(factors.items()):
+            p99s = []
+            for r in runs:
+                pct = r.latency_percentiles()
+                if pct is not None:
+                    p99s.append(pct["p99"])
+            curve.points.append(
+                (
+                    factor,
+                    sum(r.goodput_fraction for r in runs) / len(runs),
+                    max(p99s) if p99s else None,
+                    sum(r.given_up_packets for r in runs),
                 )
             )
         curves.append(curve)
@@ -495,6 +583,82 @@ def _reliability_section(curves: list[ReliabilityCurve]) -> list[str]:
     return parts
 
 
+def _congestion_svg(curves: list[CongestionCurve]) -> str:
+    """Goodput and p99-latency collapse panels (one ``<svg>``).
+
+    The x axis is offered load in saturation multiples, so open- and
+    closed-loop curves of any shape share one frame, with the paper's
+    saturation point at exactly 1.0 (dashed marker).
+    """
+    factors = [p[0] for c in curves for p in c.points]
+    goodput = [p[1] for c in curves for p in c.points]
+    p99 = [p[2] for c in curves for p in c.points if p[2] is not None]
+    x_hi = (max(factors + [1.0])) * 1.05
+    g_hi = (max(goodput) * 1.15) if goodput else 1.0
+    l_hi = (max(p99) * 1.1) if p99 else 1.0
+
+    left = _Panel(0.0, x_hi, 0.0, g_hi, _MARGIN_L)
+    right = _Panel(0.0, x_hi, 0.0, l_hi, _MARGIN_L + _PANEL_W + _PANEL_GAP)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {_SVG_W} {_SVG_H}" '
+        f'width="{_SVG_W}" height="{_SVG_H}" role="img">'
+    ]
+    parts += left.frame("goodput past saturation", "offered load (× saturation)",
+                        "goodput (fraction of capacity)")
+    parts += right.frame("tail latency", "offered load (× saturation)",
+                         "p99 latency (cycles)")
+    for i, curve in enumerate(curves):
+        color = _PALETTE[i % len(_PALETTE)]
+        parts += left.polyline([(p[0], p[1]) for p in curve.points], color)
+        parts += right.polyline(
+            [(p[0], p[2]) for p in curve.points if p[2] is not None], color
+        )
+    parts += left.vline(1.0, "#666", "saturation")
+    parts += right.vline(1.0, "#666", "saturation")
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _congestion_section(curves: list[CongestionCurve]) -> list[str]:
+    """The congestion-collapse panel: curves, legend and per-point table."""
+    parts = ["<h2>Congestion collapse past saturation</h2>"]
+    parts.append(
+        '<p class="muted">Overload campaigns drive the network past the '
+        "paper's saturation load.  Open loop, the reliable transport "
+        "retransmits blindly and goodput collapses while tail latency "
+        "grows; closed loop, hot-link marking and per-destination AIMD "
+        "windows throttle injection at the source — graceful degradation "
+        "instead of collapse.  Goodput counts first-copy payload only.</p>"
+    )
+    legend = []
+    for i, curve in enumerate(curves):
+        color = _PALETTE[i % len(_PALETTE)]
+        legend.append(
+            f'<span><i class="swatch" style="background:{color}"></i>'
+            f"{html.escape(curve.label)}</span>"
+        )
+    parts.append(f'<p class="legend">{"".join(legend)}</p>')
+    parts.append(_congestion_svg(curves))
+    parts.append("<table>")
+    parts.append(
+        "<tr><th>configuration</th><th>× saturation</th><th>goodput</th>"
+        "<th>p99 latency</th><th>given up</th></tr>"
+    )
+    for curve in curves:
+        for factor, goodput, p99, gave_up in curve.points:
+            gave_up_cls = "num" if gave_up == 0 else "num warn"
+            p99_cell = f"{p99:.0f}" if p99 is not None else "—"
+            parts.append(
+                f"<tr><td>{html.escape(curve.label)}</td>"
+                f'<td class="num">{factor:.2f}</td>'
+                f'<td class="num">{goodput:.3f}</td>'
+                f'<td class="num">{p99_cell}</td>'
+                f'<td class="{gave_up_cls}">{gave_up}</td></tr>'
+            )
+    parts.append("</table>")
+    return parts
+
+
 _CSS = """
 body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 960px;
        color: #1a1a2e; background: #fff; }
@@ -608,6 +772,7 @@ def render_scorecard(
     title: str = "Reproduction scorecard",
     forensics: dict[str, tuple[str, dict]] | None = None,
     reliability: list[ReliabilityCurve] | None = None,
+    congestion: list[CongestionCurve] | None = None,
 ) -> str:
     """The full self-contained HTML document for a set of figures.
 
@@ -616,7 +781,9 @@ def render_scorecard(
     figures gain a latency-breakdown panel and a link-hotspot heatmap
     under their CNF panels.  ``reliability`` curves (from
     :func:`reliability_curves`) append the chaos-campaign
-    goodput-degradation panel after the figures.
+    goodput-degradation panel after the figures, and ``congestion``
+    curves (from :func:`congestion_curves`) the congestion-collapse
+    panel contrasting open- and closed-loop overload behaviour.
     """
     scored = [f.score for f in figures if f.score is not None]
     overall = sum(scored) / len(scored) if scored else None
@@ -657,6 +824,8 @@ def render_scorecard(
             parts += _forensics_section(*extra)
     if reliability:
         parts += _reliability_section(reliability)
+    if congestion:
+        parts += _congestion_section(congestion)
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -672,10 +841,12 @@ def write_scorecard(
     Results carrying a forensics document (``--forensics`` runs) add
     latency-breakdown and hotspot-heatmap panels to their figures.
     Chaos-campaign runs are partitioned out of the paper figures into
-    the reliability panel (goodput degradation vs fault rate).  Returns
-    the figures (with fidelity populated) for programmatic use.
+    the reliability panel (goodput degradation vs fault rate), and
+    overload runs into the congestion-collapse panel (goodput and p99
+    vs saturation multiples, open vs closed loop).  Returns the figures
+    (with fidelity populated) for programmatic use.
     """
-    plain, chaos = partition_reliability(results)
+    plain, chaos, congestion = partition_results(results)
     figures = figures_from_results(plain, tol) if plain else []
     pathlib.Path(path).write_text(
         render_scorecard(
@@ -683,6 +854,7 @@ def write_scorecard(
             title,
             forensics=forensics_by_figure(plain),
             reliability=reliability_curves(chaos),
+            congestion=congestion_curves(congestion),
         ),
         encoding="utf-8",
     )

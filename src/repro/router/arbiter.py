@@ -13,6 +13,9 @@ from typing import TypeVar
 
 T = TypeVar("T")
 
+#: arbitration policies selectable via ``SimulationConfig.arbiter``
+ARBITER_POLICIES = ("round_robin", "age")
+
 
 def round_robin_pick(
     items: Sequence[T], start: int, eligible: Callable[[T], bool]
@@ -62,3 +65,65 @@ class RoundRobinArbiter:
                 self._next = (idx + 1) % self.size
                 return idx
         return None
+
+
+def oldest_pick(
+    items: Sequence[T],
+    eligible: Callable[[T], bool],
+    age: Callable[[T], int],
+) -> T | None:
+    """Pick the eligible item with the smallest ``age`` key.
+
+    Ties break on the lowest index so the scan is deterministic.  Unlike
+    round-robin this needs no rotation state: priority follows the
+    packets, not the ports.
+    """
+    best = None
+    best_age = 0
+    for item in items:
+        if not eligible(item):
+            continue
+        key = age(item)
+        if best is None or key < best_age:
+            best = item
+            best_age = key
+    return best
+
+
+class AgeArbiter:
+    """Oldest-first arbiter over a fixed population.
+
+    Grants the requesting input with the smallest age key (the packet's
+    creation cycle in the engine), breaking ties on the lowest index.
+    Age order is starvation-free under sustained overload: a waiting
+    packet only grows older, so it can be bypassed at most by packets
+    created earlier — a finite population — before it becomes the
+    global minimum and wins.  This is the bounded-tail-latency
+    alternative to :class:`RoundRobinArbiter` past saturation.
+    """
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise ValueError(f"arbiter needs at least one input, got {size}")
+        self.size = size
+
+    def grant(self, requests: Sequence[bool], ages: Sequence[int]) -> int | None:
+        """Index of the oldest requester, or None if no requests.
+
+        Args:
+            requests: one flag per input; length must equal ``size``.
+            ages: age key per input (smaller = older = higher priority);
+                only inspected where the request flag is set.
+        """
+        if len(requests) != self.size or len(ages) != self.size:
+            raise ValueError(
+                f"expected {self.size} request/age entries, got "
+                f"{len(requests)}/{len(ages)}"
+            )
+        best = None
+        best_age = 0
+        for idx in range(self.size):
+            if requests[idx] and (best is None or ages[idx] < best_age):
+                best = idx
+                best_age = ages[idx]
+        return best

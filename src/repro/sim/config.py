@@ -61,6 +61,9 @@ class SimulationConfig:
         warmup_cycles: statistics ignored before this cycle.
         total_cycles: the run halts at this cycle.
         seed: master RNG seed (controls traffic and tie-breaking).
+        arbiter: lane arbitration policy — ``"round_robin"`` (paper
+            default, fair rotation) or ``"age"`` (oldest packet first by
+            creation cycle, bounding tail latency under overload).
         collect_latencies: record every packet latency (for percentile
             analysis) instead of aggregates only.
         interval_cycles: when > 0, record delivered flits per interval of
@@ -86,6 +89,7 @@ class SimulationConfig:
     warmup_cycles: int = 2000
     total_cycles: int = 20000
     seed: int = 1
+    arbiter: str = "round_robin"
     collect_latencies: bool = False
     interval_cycles: int = 0
     watchdog_cycles: int = 3000
@@ -126,6 +130,10 @@ class SimulationConfig:
             raise ConfigurationError(
                 f"need 0 <= warmup < total, got warmup={self.warmup_cycles}, "
                 f"total={self.total_cycles}"
+            )
+        if self.arbiter not in ("round_robin", "age"):
+            raise ConfigurationError(
+                f"unknown arbiter {self.arbiter!r}; allowed: round_robin, age"
             )
         if self.watchdog_cycles < 0:
             raise ConfigurationError("watchdog_cycles must be >= 0")

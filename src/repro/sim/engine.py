@@ -5,9 +5,11 @@ advances through at most one pipeline stage per cycle (the §5
 normalization makes T_link = T_crossbar = T_routing = 1 clock):
 
 1. **Link phase** — for every unidirectional channel with buffered output
-   flits, a round-robin arbiter picks one output lane holding a flit and a
-   credit; that flit crosses to the downstream input lane (or ejection
-   lane).  Node injection runs in the same phase: each node streams at
+   flits, an arbiter picks one output lane holding a flit and a credit;
+   that flit crosses to the downstream input lane (or ejection lane).
+   The policy is ``config.arbiter``: round-robin (paper default) or
+   oldest-packet-first by creation cycle (``"age"``), which bounds tail
+   latency under sustained overload.  Node injection runs in the same phase: each node streams at
    most one flit per cycle of its current packet into an injection lane
    (the single injection channel / source throttling of §3).
 2. **Crossbar phase** — every crossbar-bound (input → output) lane pair
@@ -155,6 +157,9 @@ class Engine:
         self._phase_seconds = [0.0, 0.0, 0.0, 0.0]
         self._phase_at_start = (0.0, 0.0, 0.0, 0.0)
         self._warmup_snapshot_taken = config.warmup_cycles == 0
+        #: oldest-first arbitration (config.arbiter == "age"); checked once
+        #: per direction/switch in the hot loops
+        self._age_arbiter = config.arbiter == "age"
 
         routing.attach(self)
         self.routing = routing
@@ -332,79 +337,97 @@ class Engine:
         phase_start = clock()
 
         # ---- phase 1a: link traversal -------------------------------------
+        age_arb = self._age_arbiter
         for d in self.dirs:
             if d.nbusy == 0:
                 continue
             lanes = d.lanes
             n = len(lanes)
-            rr = d.rr
-            for off in range(n):
-                idx = rr + off
-                if idx >= n:
-                    idx -= n
-                lane = lanes[idx]
-                if lane.buffered > 0 and lane.credits > 0:
-                    pkt = lane.packet
-                    lane.buffered -= 1
-                    lane.credits -= 1
-                    lane.sent += 1
-                    d.flits += 1
-                    if lane.buffered == 0:
-                        d.nbusy -= 1
-                    sink = lane.sink
-                    if d.to_node:
-                        # ejection: consume immediately
-                        if sink.packet is None:
-                            sink.packet = pkt
-                            sink.received = 1
-                            pkt.head_delivered = t
-                            if probe is not None:
-                                probe.on_head_delivered(t, pkt)
-                        else:
-                            sink.received += 1
-                        if warm:
-                            res.delivered_flits += 1
-                            self.delivered_flits_per_node[sink.node] += 1
-                            self._interval_delivered += 1
-                        self.delivered_flits_total += 1
-                        if sink.received == pkt.size:
-                            pkt.delivered = t
-                            sink.packet = None
-                            sink.received = 0
-                            self.delivered_packets_total += 1
-                            if probe is not None:
-                                probe.on_tail_delivered(t, pkt)
-                            if pkt.injected >= self.config.warmup_cycles:
-                                res.delivered_packets += 1
-                                lat = t - pkt.injected
-                                res.latency_sum += lat
-                                res.head_latency_sum += pkt.head_delivered - pkt.injected
-                                if lat > res.latency_max:
-                                    res.latency_max = lat
-                                if self.config.collect_latencies:
-                                    res.latencies.append(lat)
-                    else:
-                        if sink.packet is None:
-                            sink.packet = pkt
-                            sink.received = 1
-                            sink.last_arrival = t
-                            self._enqueue_header(sink)
-                            if probe is not None:
-                                probe.on_head_arrived(t, sink, pkt)
-                        else:
-                            sink.received += 1
-                            sink.last_arrival = t
-                    if lane.sent == pkt.size:
-                        # tail left this switch: free the output lane
-                        lane.packet = None
-                        lane.sent = 0
-                    d.rr = idx + 1 if idx + 1 < n else 0
-                    progress = True
-                    break
+            lane = None
+            idx = 0
+            if age_arb:
+                # oldest packet first (creation cycle; index breaks ties)
+                best_age = 0
+                for j in range(n):
+                    cand = lanes[j]
+                    if cand.buffered > 0 and cand.credits > 0:
+                        age = cand.packet.created
+                        if lane is None or age < best_age:
+                            lane = cand
+                            idx = j
+                            best_age = age
             else:
+                rr = d.rr
+                for off in range(n):
+                    j = rr + off
+                    if j >= n:
+                        j -= n
+                    cand = lanes[j]
+                    if cand.buffered > 0 and cand.credits > 0:
+                        lane = cand
+                        idx = j
+                        break
+            if lane is None:
                 # busy direction, no lane had both a flit and a credit
                 if probe is not None:
                     probe.on_direction_blocked(t, d)
+                continue
+            pkt = lane.packet
+            lane.buffered -= 1
+            lane.credits -= 1
+            lane.sent += 1
+            d.flits += 1
+            if lane.buffered == 0:
+                d.nbusy -= 1
+            sink = lane.sink
+            if d.to_node:
+                # ejection: consume immediately
+                if sink.packet is None:
+                    sink.packet = pkt
+                    sink.received = 1
+                    pkt.head_delivered = t
+                    if probe is not None:
+                        probe.on_head_delivered(t, pkt)
+                else:
+                    sink.received += 1
+                if warm:
+                    res.delivered_flits += 1
+                    self.delivered_flits_per_node[sink.node] += 1
+                    self._interval_delivered += 1
+                self.delivered_flits_total += 1
+                if sink.received == pkt.size:
+                    pkt.delivered = t
+                    sink.packet = None
+                    sink.received = 0
+                    self.delivered_packets_total += 1
+                    if probe is not None:
+                        probe.on_tail_delivered(t, pkt)
+                    if pkt.injected >= self.config.warmup_cycles:
+                        res.delivered_packets += 1
+                        lat = t - pkt.injected
+                        res.latency_sum += lat
+                        res.head_latency_sum += pkt.head_delivered - pkt.injected
+                        if lat > res.latency_max:
+                            res.latency_max = lat
+                        if self.config.collect_latencies:
+                            res.latencies.append(lat)
+            else:
+                if sink.packet is None:
+                    sink.packet = pkt
+                    sink.received = 1
+                    sink.last_arrival = t
+                    self._enqueue_header(sink)
+                    if probe is not None:
+                        probe.on_head_arrived(t, sink, pkt)
+                else:
+                    sink.received += 1
+                    sink.last_arrival = t
+            if lane.sent == pkt.size:
+                # tail left this switch: free the output lane
+                lane.packet = None
+                lane.sent = 0
+            d.rr = idx + 1 if idx + 1 < n else 0
+            progress = True
 
         phases = self._phase_seconds
         now = clock()
@@ -529,12 +552,21 @@ class Engine:
                     self._in_route_queue[s] = False
                     continue
                 n = len(pend)
-                rr = self.route_rr[s] % n
+                if age_arb:
+                    # oldest header first; sort stability breaks ties on
+                    # arrival order within the pending list
+                    order = sorted(range(n), key=lambda i2: pend[i2].packet.created)
+                else:
+                    order = None
+                    rr = self.route_rr[s] % n
                 routed = -1
                 for off in range(n):
-                    idx = rr + off
-                    if idx >= n:
-                        idx -= n
+                    if order is not None:
+                        idx = order[off]
+                    else:
+                        idx = rr + off
+                        if idx >= n:
+                            idx -= n
                     lane = pend[idx]
                     if lane.received == 1 and lane.last_arrival == t:
                         # the header itself arrived in this cycle's link

@@ -36,6 +36,12 @@ protocol (not just the network) to quiesce.
 Everything is deterministic given the transport seed: the only random
 element is the retry jitter, drawn from a dedicated
 :class:`random.Random` stream.
+
+Optionally the transport closes the loop on congestion: wired to a
+:class:`~repro.traffic.congestion.CongestionControl`, new messages wait
+in a per-source hold queue until their destination's AIMD window has
+room, marked ACKs and timeouts shrink the window, and give-ups release
+their slot (see :mod:`repro.traffic.congestion`).
 """
 
 from __future__ import annotations
@@ -106,6 +112,7 @@ class _Message:
         "gave_up",
         "delivered_first",
         "deadline",
+        "claimed",
     )
 
     def __init__(self, src: int, dst: int, seq: int, size: int, created: int):
@@ -122,6 +129,8 @@ class _Message:
         self.delivered_first = -1
         #: armed retransmission deadline (lazy heap invalidation tag)
         self.deadline = -1
+        #: holds a congestion-window slot right now (closed loop only)
+        self.claimed = False
 
 
 class ReliableSource:
@@ -151,13 +160,26 @@ class ReliableSource:
     def advance(self, cycle: int) -> int:
         created = self.inner.advance(cycle)
         inner_queue = self.inner.queue
-        while inner_queue:
-            entry = inner_queue.popleft()
-            self.transport.register(self.node, entry)
-            self.queue.append(entry)
+        transport = self.transport
+        if transport.congestion is None:
+            while inner_queue:
+                entry = inner_queue.popleft()
+                transport.register(self.node, entry)
+                self.queue.append(entry)
+        else:
+            # closed loop: new messages wait in the transport's hold
+            # queue until their destination window has room.  Windows
+            # only change on ACK/give-up events (which pump directly),
+            # so a pump here is needed only when something new arrived.
+            if inner_queue:
+                while inner_queue:
+                    transport.hold(self.node, inner_queue.popleft())
+                transport.pump(self.node, self.queue)
         return created
 
     def done(self) -> bool:
+        # held messages count as unresolved, so the drain contract
+        # covers the congestion hold queue too
         return (
             self.inner.done()
             and not self.queue
@@ -165,7 +187,7 @@ class ReliableSource:
         )
 
     def pending(self) -> int:
-        return len(self.queue)
+        return len(self.queue) + self.transport.held_messages(self.node)
 
 
 class ReliableTransport(Probe):
@@ -182,8 +204,13 @@ class ReliableTransport(Probe):
     _ACK = 0
     _TIMEOUT = 1
 
-    def __init__(self, config: TransportConfig | None = None):
+    def __init__(self, config: TransportConfig | None = None, congestion=None):
         self.config = config or TransportConfig()
+        #: optional :class:`~repro.traffic.congestion.CongestionControl`;
+        #: when set, new messages are window-gated through a hold queue
+        self.congestion = congestion
+        #: per-node hold queue of registered messages awaiting a window slot
+        self._waiting: dict[int, deque[_Message]] = {}
         self.engine = None
         self._warmup = 0
         self._default_size = 1
@@ -245,21 +272,69 @@ class ReliableTransport(Probe):
         self._default_size = engine.config.packet_flits
         self._fifo = {node.nid: deque() for node in engine.nodes}
         self._unresolved = {node.nid: 0 for node in engine.nodes}
+        self._waiting = {node.nid: deque() for node in engine.nodes}
 
     # -- source-side registry -------------------------------------------------
 
     def register(self, node: int, entry: tuple) -> _Message:
         """Register one source-queue entry as a tracked message."""
+        msg = self._track(node, entry)
+        self._fifo[node].append(msg)
+        return msg
+
+    def _track(self, node: int, entry: tuple) -> _Message:
         created, dst = entry[0], entry[1]
         size = entry[2] if len(entry) > 2 else self._default_size
         key = (node, dst)
         seq = self._next_seq.get(key, 0)
         self._next_seq[key] = seq + 1
         msg = _Message(node, dst, seq, size, created)
-        self._fifo[node].append(msg)
         self._unresolved[node] += 1
         self.messages += 1
         return msg
+
+    def hold(self, node: int, entry: tuple) -> _Message:
+        """Register one entry into the congestion hold queue."""
+        msg = self._track(node, entry)
+        self._waiting[node].append(msg)
+        return msg
+
+    def pump(self, node: int, queue=None) -> None:
+        """Release held messages whose destination window has room.
+
+        Scans at most ``pump_scan`` messages from the head of the hold
+        queue, releasing every one whose (source, destination) window
+        accepts it — so a saturated destination cannot head-of-line
+        block traffic to open ones, and per-cycle work stays bounded
+        under deep overload backlogs.  Released messages join the
+        registry FIFO and the wrapper queue together, preserving the
+        injection-order alignment ``on_packet_injected`` relies on.
+        """
+        waiting = self._waiting[node]
+        if not waiting:
+            return
+        control = self.congestion
+        if queue is None:
+            queue = self.engine.nodes[node].source.queue
+        fifo = self._fifo[node]
+        kept = []
+        for _ in range(min(len(waiting), control.config.pump_scan)):
+            msg = waiting.popleft()
+            if msg.acked or msg.gave_up:
+                continue  # resolved while re-held (late ACK of a slow copy)
+            if control.try_release(msg.src, msg.dst):
+                msg.claimed = True
+                fifo.append(msg)
+                queue.append((msg.created, msg.dst, msg.size))
+            else:
+                kept.append(msg)
+        for msg in reversed(kept):
+            waiting.appendleft(msg)
+
+    def held_messages(self, node: int) -> int:
+        """Messages of ``node`` waiting for a congestion window slot."""
+        waiting = self._waiting.get(node)
+        return len(waiting) if waiting else 0
 
     def unresolved(self, node: int) -> int:
         """Messages of ``node`` not yet ACKed or given up."""
@@ -289,18 +364,26 @@ class ReliableTransport(Probe):
         self._arm_timeout(cycle, msg)
 
     def on_tail_delivered(self, cycle: int, packet) -> None:
+        control = self.congestion
         msg = self._by_pid.pop(packet.pid, None)
         if msg is None:
+            if control is not None:
+                control.marker.discard(packet.pid)
             return
         if msg.delivered_first < 0:
             msg.delivered_first = cycle
             if cycle >= self._warmup:
                 self.engine.result.goodput_flits += msg.size
-            self._push(cycle + self.config.ack_delay, self._ACK, msg, -1)
+            # the ACK event's tag carries the congestion mark back to
+            # the source (the ECN echo on the modeled return path)
+            marked = 1 if control is not None and control.marker.consume(packet.pid) else 0
+            self._push(cycle + self.config.ack_delay, self._ACK, msg, marked)
         else:
             self.duplicates += 1
             if cycle >= self._warmup:
                 self.engine.result.duplicate_packets += 1
+            if control is not None:
+                control.marker.discard(packet.pid)
 
     def on_packet_dropped(self, cycle: int, packet, reason: str) -> None:
         # the copy died in the network; recovery is timer-driven (the
@@ -313,7 +396,7 @@ class ReliableTransport(Probe):
         while events and events[0][0] <= cycle:
             _, _, kind, msg, tag = heapq.heappop(events)
             if kind == self._ACK:
-                self._handle_ack(msg)
+                self._handle_ack(cycle, msg, tag)
             else:
                 self._handle_timeout(cycle, msg, tag)
 
@@ -333,22 +416,30 @@ class ReliableTransport(Probe):
         msg.deadline = due
         self._push(due, self._TIMEOUT, msg, due)
 
-    def _handle_ack(self, msg: _Message) -> None:
+    def _handle_ack(self, cycle: int, msg: _Message, marked: int = 0) -> None:
         if msg.acked:
             return
         if msg.gave_up:
             # the source had already written the message off; the sink
-            # did get it, so the loss is accounting-only — record it
+            # did get it, so the loss is accounting-only — record it.
+            # The window slot was freed at give-up time, so the loop
+            # must not decrement in-flight again here.
             self.late_acks += 1
             return
         msg.acked = True
         msg.deadline = -1  # disarms any outstanding timer (lazy)
         self._unresolved[msg.src] -= 1
         self.acked += 1
+        control = self.congestion
+        if control is not None:
+            control.on_ack(cycle, msg.src, msg.dst, bool(marked), msg.claimed)
+            msg.claimed = False
+            self.pump(msg.src)
 
     def _handle_timeout(self, cycle: int, msg: _Message, tag: int) -> None:
         if msg.acked or msg.gave_up or msg.deadline != tag:
             return  # stale timer: ACKed, resolved, or superseded
+        control = self.congestion
         if msg.attempts > self.config.max_retries:
             msg.gave_up = True
             msg.deadline = -1
@@ -356,10 +447,31 @@ class ReliableTransport(Probe):
             self.gave_up += 1
             if cycle >= self._warmup:
                 self.engine.result.given_up_packets += 1
+            if control is not None:
+                # the abandoned message frees its window slot, so the
+                # retry budget cannot leak window capacity
+                if msg.claimed:
+                    control.on_give_up(msg.src, msg.dst)
+                    msg.claimed = False
+                self.pump(msg.src)
             return
-        # re-enqueue through the normal injection path; the timer for
-        # the new copy is armed when it actually injects
         msg.deadline = -1
+        if control is not None:
+            # closed loop: the timeout is a congestion signal (shrink
+            # the window) and the retransmission is *re-held* at the
+            # front of the hold queue — it releases its slot and must
+            # re-claim one, so retransmissions and new traffic share a
+            # single window-throttled injection path instead of the
+            # retry storm bypassing the gate it caused.
+            control.on_timeout(cycle, msg.src, msg.dst)
+            if msg.claimed:
+                control.on_requeue(msg.src, msg.dst)
+                msg.claimed = False
+            self._waiting[msg.src].appendleft(msg)
+            self.pump(msg.src)
+            return
+        # open loop: re-enqueue through the normal injection path; the
+        # timer for the new copy is armed when it actually injects
         entry = (cycle, msg.dst, msg.size)
         self._fifo[msg.src].append(msg)
         node = self.engine.nodes[msg.src]
@@ -380,9 +492,10 @@ class ReliableTransport(Probe):
         which duplicate suppression guarantees by construction.
         """
         cfg = dataclasses.asdict(self.config)
-        return {
+        messages = self.messages
+        doc = {
             "transport": cfg,
-            "messages": self.messages,
+            "messages": messages,
             "acked": self.acked,
             "gave_up": self.gave_up,
             "pending": self.total_unresolved(),
@@ -391,7 +504,13 @@ class ReliableTransport(Probe):
             "late_acks": self.late_acks,
             "drops_seen": self.drops_seen,
             "max_attempts": self.max_attempts,
+            # ratios guarded for zero-traffic / zero-delivery runs
+            "acked_ratio": self.acked / messages if messages else 0.0,
+            "give_up_ratio": self.gave_up / messages if messages else 0.0,
         }
+        if self.congestion is not None:
+            doc["congestion"] = self.congestion.summary()
+        return doc
 
 
 def attach_reliability(result, transport: ReliableTransport, extra: dict | None = None):

@@ -11,9 +11,11 @@ fields and demands byte equality on the serialized rest."""
 import json
 
 from repro.experiments.chaos import StormSpec, run_chaos_point
+from repro.experiments.congestion import OverloadSpec, run_overload_point
 from repro.metrics.io import run_result_to_dict
 from repro.obs.forensics import simulate_with_forensics
 from repro.sim.run import simulate
+from repro.traffic.congestion import CongestionConfig, simulate_congested
 from repro.traffic.transport import TransportConfig, simulate_reliable
 
 from .conftest import small_cube_config, small_tree_config
@@ -56,6 +58,31 @@ class TestRunDocumentDeterminism:
                 small_tree_config(load=0.6),
                 TransportConfig(base_timeout=16, jitter=8, seed=3),
             )
+        )
+
+    def test_closed_congestion_loop_run(self):
+        # marking windows, AIMD arithmetic and hold-queue pumping on top
+        # of the transport's jitter stream — all seeded, so byte-stable
+        _assert_identical(
+            lambda: simulate_congested(
+                small_tree_config(load=0.8),
+                TransportConfig(base_timeout=32, jitter=8, seed=3),
+                CongestionConfig(window_cycles=32, hot_fraction=0.3),
+            )
+        )
+
+    def test_overload_point(self):
+        # the campaign path: arbiter override + forced latency samples +
+        # the overload document on telemetry
+        spec = OverloadSpec(
+            closed_loop=True,
+            saturation=0.4,
+            arbiter="age",
+            transport=TransportConfig(base_timeout=32, jitter=4),
+            control=CongestionConfig(window_cycles=32),
+        )
+        _assert_identical(
+            lambda: run_overload_point(small_tree_config(load=0.6), spec)
         )
 
     def test_chaos_point(self):
