@@ -22,10 +22,16 @@ short uniform-traffic run:
 * **congestion** — the closed congestion loop on top of the transport
   (hot-link marker probe, per-destination AIMD windows, hold-queue
   pump): the ``repro congestion --mode closed`` configuration, gated so
-  the loop's bookkeeping never silently regresses.
+  the loop's bookkeeping never silently regresses;
+* **flight** — the flight recorder at its default interval: the
+  ``--flight``/``--watch`` configuration.  Its *marginal* cost is gated
+  against the null probe (``--flight-threshold``, default 10%): the
+  recorder rides the same per-event dispatch the null probe already
+  pays, so flight-vs-null isolates the sampling work itself.
 
 It exits nonzero when the *null* overhead relative to *off* exceeds
-``--threshold``.  The threshold is deliberately generous — per-event
+``--threshold``, or when the *flight* overhead relative to *null*
+exceeds ``--flight-threshold``.  The threshold is deliberately generous — per-event
 Python dispatch costs tens of percent and that is fine for instrumented
 runs — the guard exists to catch an accidental rewrite that makes the
 *default* path pay per-flit costs (which would show up here as null
@@ -65,6 +71,9 @@ def main(argv=None) -> int:
                     help="runs per operating point; best-of is reported")
     ap.add_argument("--threshold", type=float, default=0.75,
                     help="max tolerated null-probe overhead fraction")
+    ap.add_argument("--flight-threshold", type=float, default=0.10,
+                    help="max tolerated flight-recorder overhead relative"
+                         " to the null probe (marginal sampling cost)")
     ap.add_argument("--trace-out", default=None,
                     help="write the instrumented run's Chrome trace here")
     ap.add_argument("--out", default=str(DEFAULT_OUT),
@@ -84,7 +93,7 @@ def main(argv=None) -> int:
     entries = [
         measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
         for spec in ("off", "null", "traced", "forensics", "reliable",
-                     "congestion")
+                     "congestion", "flight")
     ]
     rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
     off = rates["off"]
@@ -107,6 +116,7 @@ def main(argv=None) -> int:
         save_baseline(bench_document(entries, repeats=args.repeats), args.out)
         print(f"baseline -> {args.out}")
 
+    failed = False
     null_overhead = (off - rates["null"]) / off if off else 0.0
     if null_overhead > args.threshold:
         print(
@@ -114,10 +124,23 @@ def main(argv=None) -> int:
             f"threshold {args.threshold:.0%}",
             file=sys.stderr,
         )
-        return 1
-    print(f"ok: null-probe overhead {null_overhead:.1%} "
-          f"<= threshold {args.threshold:.0%}")
-    return 0
+        failed = True
+    else:
+        print(f"ok: null-probe overhead {null_overhead:.1%} "
+              f"<= threshold {args.threshold:.0%}")
+    null = rates["null"]
+    flight_overhead = (null - rates["flight"]) / null if null else 0.0
+    if flight_overhead > args.flight_threshold:
+        print(
+            f"FAIL: flight-recorder overhead {flight_overhead:.1%} over the "
+            f"null probe exceeds threshold {args.flight_threshold:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"ok: flight-recorder overhead {flight_overhead:+.1%} over "
+              f"the null probe <= threshold {args.flight_threshold:.0%}")
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

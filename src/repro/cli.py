@@ -41,6 +41,14 @@ renders into a scorecard.  ``--forensics`` (on ``run`` and ``sweep``)
 attaches the congestion-forensics tier — per-packet latency
 attribution, wait-for graph sampling, link hotspots — whose document
 rides on the run's telemetry into the ledger for ``analyze``.
+``--flight`` (on ``run``, ``sweep``, ``chaos`` and ``congestion``)
+attaches the flight recorder (:mod:`repro.obs.flight`): a bounded
+multi-layer time series — engine rates, link occupancy, transport
+retransmissions, congestion windows — riding on ``telemetry.flight``
+into the run document and ledger for the scorecard's dynamics panel.
+``--watch`` adds a live in-place status line on stderr and
+``--events PATH`` streams samples/annotations (or per-point campaign
+records) as JSONL; both imply ``--flight``.
 
 Examples::
 
@@ -141,6 +149,120 @@ def _add_observability(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_flight(p: argparse.ArgumentParser) -> None:
+    """Flight-recorder flags shared by run/sweep/chaos/congestion."""
+    p.add_argument(
+        "--flight",
+        nargs="?",
+        const=0,
+        default=None,
+        type=int,
+        metavar="CYCLES",
+        help=(
+            "attach the flight recorder (bounded multi-layer time series on "
+            "telemetry.flight); optional value overrides the sampling "
+            "interval in cycles (default 128)"
+        ),
+    )
+    p.add_argument(
+        "--watch",
+        action="store_true",
+        help=(
+            "live in-place status line on stderr while the run/campaign "
+            "progresses (implies --flight)"
+        ),
+    )
+    p.add_argument(
+        "--events",
+        default=None,
+        metavar="JSONL",
+        help=(
+            "stream flight samples/annotations to this JSONL file as they "
+            "happen (implies --flight); campaigns stream one point record "
+            "per completed point"
+        ),
+    )
+
+
+def _flight_config(args):
+    """The FlightConfig requested by --flight/--watch/--events, or None."""
+    interval = getattr(args, "flight", None)
+    if interval is None and not (
+        getattr(args, "watch", False) or getattr(args, "events", None)
+    ):
+        return None
+    from .obs.flight import FlightConfig
+
+    if interval:
+        return FlightConfig(interval_cycles=interval)
+    return FlightConfig()
+
+
+def _watch_sampler(stream=None):
+    """An ``on_sample`` callback rendering one in-place status line."""
+    stream = stream or sys.stderr
+
+    def on_sample(row) -> None:
+        span = row["span"] or 1
+        parts = [
+            f"t={row['cycle'] + 1:>8,}",
+            f"inj {row['injected'] / span:6.2f}",
+            f"dlv {row['delivered'] / span:6.2f} fl/cyc",
+            f"in-flight {row['in_flight']:>6,}",
+            f"backlog {row['backlog']:>8,}",
+        ]
+        if "retx" in row:
+            parts.append(f"retx {row['retx']:>5}")
+        if "cwnd_mean" in row:
+            parts.append(f"cwnd {row['cwnd_mean']:5.2f}")
+            parts.append(f"held {row['held']:>5}")
+        print("\r  " + "  ".join(parts) + "\x1b[K", end="", file=stream, flush=True)
+
+    return on_sample
+
+
+def _campaign_events(path):
+    """A per-point JSONL event writer for campaign --events, or None."""
+    if path is None:
+        return None
+    fh = open(path, "w", encoding="utf-8")
+
+    def write(p) -> None:
+        record = {
+            "type": "point",
+            "done": p.done,
+            "total": p.total,
+            "label": p.label,
+            "offered": p.offered,
+            "status": p.status,
+            "flight": getattr(p, "flight", None),
+        }
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+        fh.flush()
+
+    write.close = fh.close
+    return write
+
+
+def _campaign_progress(args):
+    """Compose the progress callback for a campaign command.
+
+    Honors ``--watch`` (in-place status line instead of one line per
+    point) and ``--events`` (per-point JSONL records, flight digest
+    included).  Returns ``(progress, close)``.
+    """
+    printer = _progress_printer(inplace=getattr(args, "watch", False))
+    events = _campaign_events(getattr(args, "events", None))
+    if events is None:
+        return printer, lambda: None
+
+    def progress(p) -> None:
+        printer(p)
+        events(p)
+
+    return progress, events.close
+
+
 def _open_ledger(args):
     """The Ledger named by ``--ledger``, or None."""
     path = getattr(args, "ledger", None)
@@ -203,15 +325,27 @@ def cmd_run(args) -> int:
         config = _make_config(args, args.load)
         if args.latencies or args.forensics:
             config = dataclasses.replace(config, collect_latencies=True)
+        flight = _flight_config(args)
+        recorder = None
+        if flight is not None:
+            from .obs.flight import FlightRecorder
+
+            recorder = FlightRecorder(
+                flight,
+                on_sample=_watch_sampler() if args.watch else None,
+                events=args.events,
+            )
         deadlock = probe = None
         if args.forensics:
             from .obs.forensics import run_with_forensics
 
             result, probe, deadlock = run_with_forensics(
-                config, sample_every=args.sample_every
+                config, sample_every=args.sample_every, probe=recorder
             )
         else:
-            result = simulate(config)
+            result = simulate(config, probe=recorder)
+        if args.watch:
+            print(file=sys.stderr)  # finish the in-place status line
         ledger = _open_ledger(args)
         if ledger is not None:
             ledger.append_run(result, kind="forensics" if args.forensics else "run")
@@ -229,15 +363,17 @@ def cmd_run(args) -> int:
             print(result.telemetry.phase_summary())
         pct = result.latency_percentiles()
         if pct is not None:
-            print(
-                f"latency percentiles ({pct['samples']} samples): "
-                f"p50={pct['p50']} p95={pct['p95']} p99={pct['p99']} "
-                f"max={pct['max']} cycles"
-            )
+            from .obs.percentiles import format_percentiles
+
+            print(format_percentiles(pct))
         if probe is not None:
             from .obs.forensics import describe_forensics
 
             print(describe_forensics(probe.summary()))
+        if result.telemetry is not None and result.telemetry.flight is not None:
+            from .obs.flight import describe_flight
+
+            print(describe_flight(result.telemetry.flight))
         if deadlock is not None:
             print(f"error: {deadlock}", file=sys.stderr)
             return 1
@@ -246,16 +382,27 @@ def cmd_run(args) -> int:
     return _with_cprofile(args, body)
 
 
-def _progress_printer(stream=None):
-    """Live one-line-per-point sweep progress (stderr by default)."""
+def _progress_printer(stream=None, inplace=False):
+    """Live per-point sweep progress (stderr by default).
+
+    ``inplace`` rewrites one status line (``--watch``) instead of
+    printing one line per point; either way a flight digest rides along
+    when the point was flight-instrumented.
+    """
     stream = stream or sys.stderr
 
     def report(p) -> None:
         rate = f"{p.cycles_per_sec:,.0f} cyc/s" if p.cycles_per_sec else p.status
-        print(
-            f"  [{p.done}/{p.total}] load {p.offered:.3f} {p.status:<6} {rate}",
-            file=stream,
-        )
+        line = f"  [{p.done}/{p.total}] load {p.offered:.3f} {p.status:<6} {rate}"
+        digest = getattr(p, "flight", None)
+        if digest:
+            annotations = ",".join(digest["annotations"]) or "-"
+            line += f"  flight {digest['rows']} rows [{annotations}]"
+        if inplace:
+            end = "\n" if p.done >= p.total else ""
+            print("\r" + line + "\x1b[K", end=end, file=stream, flush=True)
+        else:
+            print(line, file=stream)
 
     return report
 
@@ -266,10 +413,23 @@ def cmd_sweep(args) -> int:
         loads = default_loads(profile.sweep_points)
         telemetry: list = []
 
-        printer = _progress_printer()
+        flight = _flight_config(args)
+        simulate_fn = None
+        if flight is not None:
+            if args.forensics:
+                raise ConfigurationError(
+                    "--forensics and --flight cannot be combined on sweep "
+                    "(run supports both at once)"
+                )
+            from functools import partial
+
+            from .obs.flight import simulate_with_flight
+
+            simulate_fn = partial(simulate_with_flight, flight=flight)
+        campaign_progress, close_events = _campaign_progress(args)
 
         def progress(p) -> None:
-            printer(p)
+            campaign_progress(p)
             if p.cycles_per_sec is not None:
                 telemetry.append(p.cycles_per_sec)
 
@@ -281,6 +441,7 @@ def cmd_sweep(args) -> int:
                 progress=progress,
                 ledger=_open_ledger(args),
                 forensics=args.forensics,
+                simulate_fn=simulate_fn,
             )
         except KeyboardInterrupt:
             print(
@@ -288,6 +449,8 @@ def cmd_sweep(args) -> int:
                 file=sys.stderr,
             )
             return 130
+        finally:
+            close_events()
         from .metrics.saturation import saturation_point
 
         if args.json:
@@ -569,36 +732,41 @@ def cmd_chaos(args) -> int:
     ledger = _open_ledger(args)
     networks = ("tree", "cube") if args.network == "both" else (args.network,)
     all_rows = []
-    for network in networks:
-        print(f"chaos campaign: {network}", file=sys.stderr)
-        try:
-            campaign = chaos_campaign(
-                network=network,
-                fault_rates=rates,
-                repair_grid=repairs,
-                profile=profile,
-                vcs=args.vcs,
-                seed=args.seed,
-                storm_seed=args.storm_seed,
-                k=args.k,
-                n=args.n,
-                algorithm=args.algorithm if args.network != "both" else None,
-                transport=transport,
-                parallel=args.parallel,
-                max_workers=args.workers,
-                retries=args.retries,
-                timeout=args.timeout,
-                progress=_progress_printer(),
-                ledger=ledger,
-            )
-        except KeyboardInterrupt:
-            print(
-                "interrupted: completed points were flushed to the ledger",
-                file=sys.stderr,
-            )
-            return 130
-        for row in degradation_rows(campaign):
-            all_rows.append({"network": network, **row})
+    progress, close_events = _campaign_progress(args)
+    try:
+        for network in networks:
+            print(f"chaos campaign: {network}", file=sys.stderr)
+            try:
+                campaign = chaos_campaign(
+                    network=network,
+                    fault_rates=rates,
+                    repair_grid=repairs,
+                    profile=profile,
+                    vcs=args.vcs,
+                    seed=args.seed,
+                    storm_seed=args.storm_seed,
+                    k=args.k,
+                    n=args.n,
+                    algorithm=args.algorithm if args.network != "both" else None,
+                    transport=transport,
+                    flight=_flight_config(args),
+                    parallel=args.parallel,
+                    max_workers=args.workers,
+                    retries=args.retries,
+                    timeout=args.timeout,
+                    progress=progress,
+                    ledger=ledger,
+                )
+            except KeyboardInterrupt:
+                print(
+                    "interrupted: completed points were flushed to the ledger",
+                    file=sys.stderr,
+                )
+                return 130
+            for row in degradation_rows(campaign):
+                all_rows.append({"network": network, **row})
+    finally:
+        close_events()
     if args.json:
         print(json.dumps({"rows": all_rows}, indent=1))
         return 0
@@ -660,6 +828,7 @@ def cmd_congestion(args) -> int:
         )
     ledger = _open_ledger(args)
     print(f"congestion campaign: {args.network}", file=sys.stderr)
+    progress, close_events = _campaign_progress(args)
     try:
         campaign = congestion_campaign(
             network=args.network,
@@ -673,12 +842,13 @@ def cmd_congestion(args) -> int:
             n=args.n,
             algorithm=args.algorithm,
             transport=transport,
+            flight=_flight_config(args),
             arbiter_closed=args.arbiter_closed,
             parallel=args.parallel,
             max_workers=args.workers,
             retries=args.retries,
             timeout=args.timeout,
-            progress=_progress_printer(),
+            progress=progress,
             ledger=ledger,
         )
     except KeyboardInterrupt:
@@ -687,6 +857,8 @@ def cmd_congestion(args) -> int:
             file=sys.stderr,
         )
         return 130
+    finally:
+        close_events()
     rows = collapse_rows(campaign)
     if args.json:
         print(json.dumps({"rows": rows}, indent=1))
@@ -861,6 +1033,9 @@ def cmd_bench(args) -> int:
         doc = run_bench(repeats=args.repeats or 3, cycles=args.cycles)
         out = args.out or default_baseline_path()
         save_baseline(doc, out)
+        if args.json:
+            print(json.dumps(doc, indent=1))
+            return 0
         print(f"bench baseline ({doc['host']}, python {doc['python']}) -> {out}")
         for entry in doc["entries"]:
             from .obs.telemetry import RunTelemetry
@@ -879,6 +1054,12 @@ def cmd_bench(args) -> int:
             bench_document(current, args.repeats or baseline.get("repeats", 3)),
             args.out,
         )
+    if args.json:
+        from .obs.bench import compare_document
+
+        doc = compare_document(baseline, current, threshold=args.threshold)
+        print(json.dumps(doc, indent=1))
+        return 0 if doc["passed"] else REGRESSION_EXIT_CODE
     findings = compare(baseline, current, threshold=args.threshold)
     for base, cur in zip(baseline["entries"], current):
         print(f"  {base['name']:<12} baseline {base['cycles_per_sec']:>12,.0f} "
@@ -950,6 +1131,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=200,
         help="wait-for graph sampling period in cycles (with --forensics)",
     )
+    _add_flight(p)
     _add_observability(p)
     p.set_defaults(func=cmd_run)
 
@@ -963,6 +1145,7 @@ def build_parser() -> argparse.ArgumentParser:
             "ledger records are filed as kind=forensics for analyze"
         ),
     )
+    _add_flight(p)
     _add_observability(p)
     p.set_defaults(func=cmd_sweep)
 
@@ -1103,6 +1286,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point wall-clock budget in seconds (watchdog subprocess)",
     )
     p.add_argument("--json", action="store_true", help="emit the rows as JSON")
+    _add_flight(p)
     p.add_argument(
         "--ledger",
         default=None,
@@ -1176,6 +1360,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-point wall-clock budget in seconds (watchdog subprocess)",
     )
     p.add_argument("--json", action="store_true", help="emit the rows as JSON")
+    _add_flight(p)
     p.add_argument(
         "--ledger",
         default=None,
@@ -1285,6 +1470,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="runs per entry; best-of is kept (default 3 / baseline's)")
     p.add_argument("--cycles", type=int, default=2000,
                    help="cycles per suite run when recording a new baseline")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help=(
+            "emit the baseline document (recording) or the comparison "
+            "document with per-entry deltas and pass/fail (--compare) as "
+            "JSON; the regression exit code is unchanged"
+        ),
+    )
     p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("find-sat", help="bisect the saturation point")

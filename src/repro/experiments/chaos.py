@@ -168,19 +168,40 @@ def _draw_storm_schedule(engine, storm: StormSpec) -> FaultSchedule | None:
     return schedule
 
 
-def run_chaos_point(config: SimulationConfig, storm: StormSpec) -> RunResult:
+def run_chaos_point(
+    config: SimulationConfig, storm: StormSpec, flight=None
+) -> RunResult:
     """Simulate one chaos point: reliable transport + fail-stop storm.
 
     Module-level and driven by picklable arguments, so the resilient
     sweep can fan it out over process pools via ``functools.partial``.
     The engine is audited after the run — a storm that corrupts a
     network invariant fails loudly instead of skewing a curve.
+
+    ``flight`` (a :class:`~repro.obs.flight.FlightConfig`) attaches a
+    flight recorder; every scheduled strike/repair is stamped on the
+    timeline as a ``fault_strike``/``fault_repair`` annotation (the
+    schedule is known up front, so the stamps carry the exact cycles).
     """
-    engine = build_engine(config)
+    recorder = None
+    if flight is not None:
+        from ..obs.flight import FlightRecorder
+
+        recorder = FlightRecorder(flight)
+    engine = build_engine(config, probe=recorder)
     transport = ReliableTransport(storm.transport).install(engine)
     schedule = _draw_storm_schedule(engine, storm)
     if schedule is not None:
         schedule.install(engine)
+        if recorder is not None:
+            for entry in schedule.entries:
+                recorder.annotate(
+                    entry.fail_at, "fault_strike", str(entry.spec)
+                )
+                if entry.repair_at is not None:
+                    recorder.annotate(
+                        entry.repair_at, "fault_repair", str(entry.spec)
+                    )
     result = engine.run()
     engine.audit()
     doc = {
@@ -216,6 +237,7 @@ def chaos_campaign(
     n: int | None = None,
     algorithm: str | None = None,
     transport: TransportConfig | None = None,
+    flight=None,
     parallel: bool = False,
     max_workers: int | None = None,
     retries: int = 0,
@@ -235,7 +257,9 @@ def chaos_campaign(
     Every completed point is appended to ``ledger`` as a ``"chaos"``
     record with dedup off (grid points share config digest + seed; the
     storm recipe on ``telemetry.reliability`` is what distinguishes
-    them).
+    them).  ``flight`` (a :class:`~repro.obs.flight.FlightConfig`)
+    attaches a flight recorder to every point, with strike/repair
+    annotations stamped on each timeline.
     """
     profile = profile or get_profile()
     if loads is None:
@@ -269,7 +293,7 @@ def chaos_campaign(
                 record_failures=record_failures,
                 progress=progress,
                 ledger=ledger,
-                simulate_fn=partial(run_chaos_point, storm=storm),
+                simulate_fn=partial(run_chaos_point, storm=storm, flight=flight),
                 ledger_kind="chaos",
                 ledger_dedup=False,
                 on_result=collected.append,

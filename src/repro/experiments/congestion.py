@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from functools import partial
 
 from ..metrics.series import LoadSweepSeries
+from ..obs.flight import FlightConfig, FlightRecorder
 from ..obs.report import paper_reference
 from ..profiles import Profile, get_profile
 from ..sim.config import SimulationConfig
@@ -107,6 +108,10 @@ class OverloadSpec:
         arbiter: lane arbitration policy for the run.
         transport: reliable-transport tuning.
         control: congestion-loop tuning (ignored when open loop).
+        flight: attach a flight recorder with this tuning; the timeline
+            document (window dynamics, mark/decrease/collapse-onset
+            annotations) rides on ``telemetry.flight`` into the ledger,
+            where the scorecard's dynamics panel reads it.
     """
 
     closed_loop: bool
@@ -114,6 +119,7 @@ class OverloadSpec:
     arbiter: str = "round_robin"
     transport: TransportConfig = field(default_factory=TransportConfig)
     control: CongestionConfig = field(default_factory=CongestionConfig)
+    flight: "FlightConfig | None" = None
 
     @property
     def mode(self) -> str:
@@ -131,7 +137,8 @@ def run_overload_point(config: SimulationConfig, spec: OverloadSpec) -> RunResul
     config = dataclasses.replace(
         config, arbiter=spec.arbiter, collect_latencies=True
     )
-    engine = build_engine(config)
+    recorder = FlightRecorder(spec.flight) if spec.flight is not None else None
+    engine = build_engine(config, probe=recorder)
     if spec.closed_loop:
         transport = install_congestion(engine, spec.transport, spec.control)
     else:
@@ -197,6 +204,7 @@ def congestion_campaign(
     algorithm: str | None = None,
     transport: TransportConfig | None = None,
     control: CongestionConfig | None = None,
+    flight: FlightConfig | None = None,
     arbiter_open: str = "round_robin",
     arbiter_closed: str = "round_robin",
     parallel: bool = False,
@@ -242,6 +250,7 @@ def congestion_campaign(
             arbiter=arbiter_closed if closed_loop else arbiter_open,
             transport=transport,
             control=control,
+            flight=flight,
         )
         label = f"{network} congestion {spec.mode}-loop"
         collected: list[RunResult] = []

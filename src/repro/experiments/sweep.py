@@ -99,6 +99,11 @@ class PointProgress:
         cycles_per_sec: the worker engine's throughput for this point,
             when the result carries telemetry (cached and failed points
             report ``None``).
+        flight: compact digest of the point's flight-recorder timeline
+            (``rows``, ``annotations``, ``collapse_onset``) when the run
+            was flight-instrumented; ``None`` otherwise.  The full
+            document stays on the result's telemetry — this is just
+            enough for a live ``--watch`` status line.
     """
 
     done: int
@@ -107,6 +112,7 @@ class PointProgress:
     label: str
     status: str
     cycles_per_sec: float | None
+    flight: dict | None = None
 
 
 def _cache_key(config: SimulationConfig) -> tuple:
@@ -457,6 +463,14 @@ def run_sweep(
         if progress is None:
             return
         telemetry = result.telemetry if result is not None else None
+        flight = None
+        if telemetry is not None and telemetry.flight is not None:
+            doc = telemetry.flight
+            flight = {
+                "rows": doc["rows"],
+                "annotations": [a["kind"] for a in doc["annotations"]],
+                "collapse_onset": doc["collapse_onset"],
+            }
         progress(
             PointProgress(
                 done=done,
@@ -465,6 +479,7 @@ def run_sweep(
                 label=config.label(),
                 status=status,
                 cycles_per_sec=telemetry.cycles_per_sec if telemetry else None,
+                flight=flight,
             )
         )
 

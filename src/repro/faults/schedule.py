@@ -126,6 +126,11 @@ class FaultSchedule:
         self._entries: list[ScheduledFault] = []
         self._installed = False
 
+    @property
+    def entries(self) -> tuple[ScheduledFault, ...]:
+        """The scheduled faults, in add order (read-only view)."""
+        return tuple(self._entries)
+
     def add(
         self,
         spec: TreeUplinkFault | CubeLinkFault,

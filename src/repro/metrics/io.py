@@ -14,7 +14,12 @@ resimulation::
     save_run(result, "point.json")
 
 Every format is versioned; loading rejects documents from incompatible
-versions instead of misreading them.
+versions instead of misreading them.  Observability documents ride the
+telemetry section rather than defining their own formats here: the
+forensics summary lands on ``telemetry.forensics``, transport
+accounting on ``telemetry.reliability`` and the flight recorder's
+timeline on ``telemetry.flight``, so instrumented runs round-trip
+through ``save_run``/``load_run`` and the ledger unchanged.
 """
 
 from __future__ import annotations

@@ -38,7 +38,16 @@ On top of the per-run signals sits the aggregation tier:
   per-link hotspot aggregation, feeding ``repro-net analyze`` and the
   scorecard's breakdown/heatmap panels.
 * :mod:`repro.obs.heatmap` — stdlib-SVG rendering of the forensics
-  document (hotspot heatmaps, latency-breakdown panel).
+  document (hotspot heatmaps, latency-breakdown panel) and of flight
+  timelines (stacked dynamics panels).
+* :mod:`repro.obs.flight` — :class:`FlightRecorder`: the cross-layer
+  flight recorder sampling one bounded per-interval timeline over
+  engine, links, transport and control plane, with collapse-onset /
+  fault / deadlock-precursor annotations, a live ``--watch`` hook and a
+  JSONL event stream; the document rides on ``telemetry.flight``.
+* :mod:`repro.obs.percentiles` — the shared latency-percentile
+  formatting used by ``run --latencies``, ``analyze`` and the flight
+  digests.
 
 CLI entry points: ``repro-net trace`` for instrumented single runs,
 ``repro-net run/sweep/trace --json`` for machine-readable results
@@ -96,6 +105,14 @@ _LAZY = {
     "hotspot_heatmap_svg": "heatmap",
     "latency_breakdown_svg": "heatmap",
     "standalone_svg": "heatmap",
+    "flight_timeline_svg": "heatmap",
+    "FLIGHT_FORMAT_VERSION": "flight",
+    "FlightConfig": "flight",
+    "FlightRecorder": "flight",
+    "describe_flight": "flight",
+    "simulate_with_flight": "flight",
+    "format_percentiles": "percentiles",
+    "percentile_table": "percentiles",
 }
 
 
@@ -155,6 +172,14 @@ __all__ = [
     "hotspot_heatmap_svg",
     "latency_breakdown_svg",
     "standalone_svg",
+    "flight_timeline_svg",
+    "FLIGHT_FORMAT_VERSION",
+    "FlightConfig",
+    "FlightRecorder",
+    "describe_flight",
+    "simulate_with_flight",
+    "format_percentiles",
+    "percentile_table",
     "PHASE_NAMES",
     "RunTelemetry",
     "config_digest",

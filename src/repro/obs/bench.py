@@ -61,6 +61,13 @@ def _forensics_probe():
     return ForensicsProbe()
 
 
+def _flight_probe():
+    # imported on use: flight sits above this module in the layering
+    from .flight import FlightRecorder
+
+    return FlightRecorder()
+
+
 #: probe spec names -> factories; "off" runs the uninstrumented fast path
 PROBE_FACTORIES = {
     "off": lambda: None,
@@ -69,6 +76,7 @@ PROBE_FACTORIES = {
         [TraceProbe(), WindowedCounterProbe(window_cycles=200)]
     ),
     "forensics": _forensics_probe,
+    "flight": _flight_probe,
 }
 
 
@@ -244,6 +252,47 @@ def compare(
             )
         findings.extend(_phase_findings(base, cur, threshold))
     return findings
+
+
+def compare_document(
+    baseline: dict, current: list[dict], threshold: float = DEFAULT_THRESHOLD
+) -> dict:
+    """Machine-readable comparison document: per-entry deltas + verdict.
+
+    The structured twin of :func:`compare` for ``bench --compare
+    --json`` and CI tooling: one row per baseline entry with both rates
+    and the relative delta (positive = faster), the per-entry and
+    overall pass/fail, and the human-readable findings verbatim.
+    """
+    findings = compare(baseline, current, threshold)
+    current_by_name = {e["name"]: e for e in current}
+    entries = []
+    for base in baseline["entries"]:
+        cur = current_by_name[base["name"]]
+        base_rate, cur_rate = base["cycles_per_sec"], cur["cycles_per_sec"]
+        prefix = f"{base['name']}:"
+        entries.append(
+            {
+                "name": base["name"],
+                "probe": base.get("probe"),
+                "baseline_cycles_per_sec": base_rate,
+                "cycles_per_sec": cur_rate,
+                "delta": (
+                    round(cur_rate / base_rate - 1.0, 6) if base_rate else None
+                ),
+                "regressed": any(f.startswith(prefix) for f in findings),
+            }
+        )
+    return {
+        "format": BENCH_FORMAT_VERSION,
+        "kind": "bench-compare",
+        "host": platform.node() or "unknown",
+        "python": platform.python_version(),
+        "threshold": threshold,
+        "passed": not findings,
+        "findings": findings,
+        "entries": entries,
+    }
 
 
 def _phase_findings(base: dict, cur: dict, threshold: float) -> list[str]:

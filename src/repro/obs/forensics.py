@@ -662,21 +662,18 @@ def describe_forensics(doc: dict) -> str:
         f"{packets} packets):"
     )
     if packets:
+        from .percentiles import percentile_table
+
         components = attr.get("components", {})
         share = attr.get("share", {})
         for name in COMPONENTS:
-            h = components.get(name, {})
             lines.append(
-                f"  {name:<14} {share.get(name, 0.0):>6.1%}  "
-                f"mean {h.get('mean', 0.0):>7.1f}  p50 {h.get('p50', 0):>5} "
-                f"p95 {h.get('p95', 0):>5}  p99 {h.get('p99', 0):>5}  "
-                f"max {h.get('max', 0):>5}"
+                percentile_table(
+                    name, components.get(name, {}), share.get(name, 0.0)
+                )
             )
-        net = components.get("network_latency", {})
         lines.append(
-            f"  {'network total':<14} {'':>6}  mean {net.get('mean', 0.0):>7.1f}  "
-            f"p50 {net.get('p50', 0):>5} p95 {net.get('p95', 0):>5}  "
-            f"p99 {net.get('p99', 0):>5}  max {net.get('max', 0):>5}"
+            percentile_table("network total", components.get("network_latency", {}))
         )
     else:
         lines.append("  no delivered packets in the measurement window")
@@ -749,7 +746,9 @@ def simulate_with_forensics(config, sample_every: int = 200):
     return attach_forensics(result, probe)
 
 
-def run_with_forensics(config, sample_every: int = 200, keep_packets: int = 0):
+def run_with_forensics(
+    config, sample_every: int = 200, keep_packets: int = 0, probe=None
+):
     """One forensics-instrumented run that survives a deadlock.
 
     Returns ``(result, probe, deadlock)`` where ``deadlock`` is the
@@ -757,17 +756,22 @@ def run_with_forensics(config, sample_every: int = 200, keep_packets: int = 0):
     the partial result still carries the forensics document — including
     the sampler's precursor snapshot, which by then has usually seen the
     wedge form — because the post-mortem is the whole point.
+
+    ``probe`` composes an extra observer (e.g. a flight recorder)
+    alongside the forensics tier; the returned probe is always the
+    :class:`ForensicsProbe`.
     """
     from ..errors import DeadlockError
     from ..sim.run import build_engine
 
-    probe = ForensicsProbe(sample_every=sample_every, keep_packets=keep_packets)
-    engine = build_engine(config, probe=probe)
+    forensics = ForensicsProbe(sample_every=sample_every, keep_packets=keep_packets)
+    attach = forensics if probe is None else MultiProbe([forensics, probe])
+    engine = build_engine(config, probe=attach)
     deadlock = None
     try:
         result = engine.run()
     except DeadlockError as exc:
         deadlock = exc
         result = engine.result
-    attach_forensics(result, probe)
-    return result, probe, deadlock
+    attach_forensics(result, forensics)
+    return result, forensics, deadlock

@@ -14,6 +14,11 @@ standalone ``<svg>`` fragments:
 * :func:`latency_breakdown_svg` — one stacked bar of the four latency
   components' shares plus a per-component percentile table
   (mean/p50/p95/p99/max) from the attribution histograms.
+* :func:`flight_timeline_svg` — stacked sparkline panels over one
+  flight-recorder document (:mod:`repro.obs.flight`): injection vs
+  delivery rates, fabric occupancy, transport and control dynamics,
+  with annotation stripes (fault strikes, first mark/decrease,
+  collapse onset).
 
 Both are embedded in the ``repro-net report`` scorecard next to the CNF
 panels and written standalone by ``repro-net analyze``.
@@ -216,6 +221,148 @@ def latency_breakdown_svg(attribution: dict, title: str | None = None) -> str:
             f'<text x="{cx}" y="{y}" class="tick" text-anchor="end">{v}</text>'
             for cx, v in zip(cols[1:], values)
         ]
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+#: annotation stripe colours by kind (anything else renders grey)
+_ANNOTATION_COLORS = {
+    "fault_strike": "#D55E00",
+    "fault_repair": "#009E73",
+    "first_mark": "#E69F00",
+    "first_decrease": "#0072B2",
+    "collapse_onset": "#000000",
+    "stall": "#CC79A7",
+}
+
+#: flight timeline panels: (title, ((series key, colour, per-cycle), ...))
+#: gated on the layer flags; per-cycle series are divided by the row span
+_FLIGHT_PANELS = (
+    (None, "rates (flits/cycle)", (
+        ("offered", "#555555", True),
+        ("injected", "#0072B2", True),
+        ("delivered", "#009E73", True),
+    )),
+    (None, "fabric (occupancy, blocked)", (
+        ("occupancy", "#E69F00", False),
+        ("blocked", "#D55E00", True),
+    )),
+    ("transport", "transport (outstanding, retx)", (
+        ("outstanding", "#0072B2", False),
+        ("retx", "#D55E00", False),
+    )),
+    ("control", "control (cwnd, marks)", (
+        ("cwnd_mean", "#0072B2", False),
+        ("cwnd_min", "#56B4E9", False),
+        ("marks", "#D55E00", False),
+    )),
+)
+
+
+def flight_timeline_svg(doc: dict, title: str | None = None, width: int = 640) -> str:
+    """A flight-recorder timeline as one standalone ``<svg>``.
+
+    Stacked sparkline panels sharing the cycle axis — injection/delivery
+    rates, fabric occupancy, and (when the run carried them) transport
+    and control-loop dynamics.  Each series is normalized to its own
+    peak (the hover tooltip carries the exact peak), so panels mixing
+    units stay readable; annotations render as vertical stripes coloured
+    by kind, with the collapse onset dashed.
+
+    Args:
+        doc: a flight document (``telemetry.flight`` /
+            :meth:`~repro.obs.flight.FlightRecorder.document`).
+        title: heading inside the SVG.
+
+    Raises:
+        AnalysisError: when the document holds no sampled intervals.
+    """
+    series = doc.get("series", {})
+    cycles = series.get("cycle") or []
+    if not cycles:
+        raise AnalysisError("flight document holds no sampled intervals")
+    spans = series.get("span") or [1] * len(cycles)
+    layers = doc.get("layers", {})
+    panels = [
+        (heading, keys)
+        for layer, heading, keys in _FLIGHT_PANELS
+        if layer is None or layers.get(layer)
+    ]
+
+    pad, right, top = 40, 10, 24
+    panel_h, head_h, gap = 52, 16, 12
+    plot_w = width - pad - right
+    xmax = max(cycles[-1], 1)
+    height = top + len(panels) * (head_h + panel_h + gap) + 14
+    label = title or (
+        f"flight timeline — {doc.get('rows', len(cycles))} intervals, "
+        f"stride {doc.get('stride', doc.get('interval', '?'))} cycles"
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">',
+        f'<text x="{pad}" y="15" class="ptitle" text-anchor="start">'
+        f"{html.escape(label)}</text>",
+    ]
+
+    def x_of(cycle: int) -> float:
+        return pad + plot_w * cycle / xmax
+
+    y = top
+    for heading, keys in panels:
+        y += head_h
+        legend = []
+        parts.append(
+            f'<rect x="{pad}" y="{y}" width="{plot_w}" height="{panel_h}" '
+            f'fill="none" stroke="#ddd" stroke-width="0.5"/>'
+        )
+        for key, color, per_cycle in keys:
+            values = series.get(key)
+            if values is None:
+                continue
+            points = [
+                v / (spans[i] or 1) if per_cycle else float(v)
+                for i, v in enumerate(values)
+            ]
+            peak = max(points)
+            scale = peak if peak > 0 else 1.0
+            coords = " ".join(
+                f"{x_of(cycles[i]):.1f},{y + panel_h - panel_h * p / scale:.1f}"
+                for i, p in enumerate(points)
+            )
+            parts.append(
+                f'<polyline points="{coords}" fill="none" stroke="{color}" '
+                f'stroke-width="1.3"><title>{html.escape(key)}: peak '
+                f"{peak:.2f}{'/cycle' if per_cycle else ''}</title></polyline>"
+            )
+            legend.append(f'<tspan fill="{color}">{html.escape(key)}</tspan>')
+        parts.append(
+            f'<text x="{pad}" y="{y - 4}" class="tick" text-anchor="start">'
+            f"{html.escape(heading)}   " + "  ".join(legend) + "</text>"
+        )
+        y += panel_h + gap
+
+    plot_top, plot_bot = top + head_h, y - gap
+    for ann in doc.get("annotations", ()):
+        kind = ann.get("kind", "?")
+        ax = x_of(min(ann.get("cycle", 0), xmax))
+        color = _ANNOTATION_COLORS.get(kind, "#888888")
+        dash = ' stroke-dasharray="4 3"' if kind == "collapse_onset" else ""
+        tooltip = f"{kind} @ {ann.get('cycle', '?')}"
+        if ann.get("detail"):
+            tooltip += f": {ann['detail']}"
+        parts.append(
+            f'<line x1="{ax:.1f}" y1="{plot_top}" x2="{ax:.1f}" y2="{plot_bot}" '
+            f'stroke="{color}" stroke-width="1" opacity="0.7"{dash}>'
+            f"<title>{html.escape(tooltip)}</title></line>"
+        )
+    parts.append(
+        f'<text x="{pad}" y="{height - 4}" class="tick" text-anchor="start">0</text>'
+    )
+    parts.append(
+        f'<text x="{pad + plot_w}" y="{height - 4}" class="tick" '
+        f'text-anchor="end">{xmax:,} cycles</text>'
+    )
     parts.append("</svg>")
     return "\n".join(parts)
 

@@ -6,8 +6,9 @@ gives those documents somewhere to live *across* campaigns.  A
 that every ``repro-net run/sweep/trace/faults --ledger`` invocation
 appends to.  Appending is the only mutation, so concurrent campaigns can
 share a ledger (each ``append`` is a single atomic ``write`` of one
-line), a crashed run loses at most its in-flight line, and the file
-diffs/merges cleanly under version control.
+line, flushed and fsynced before the call returns), a crashed run loses
+at most its in-flight line, and the file diffs/merges cleanly under
+version control.
 
 Records wrap the run document of :mod:`repro.metrics.io` with query
 metadata (config digest, seed, network/pattern/algorithm echo, a
@@ -30,6 +31,7 @@ Example::
 from __future__ import annotations
 
 import json
+import os
 import pathlib
 import time
 from collections.abc import Iterator
@@ -115,9 +117,14 @@ class Ledger:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         line = json.dumps(record, sort_keys=True) + "\n"
         # one write call per record: atomic on POSIX for these line sizes,
-        # so concurrent appenders interleave whole lines, not fragments
+        # so concurrent appenders interleave whole lines, not fragments;
+        # flush + fsync before close so a completed append survives a
+        # crash/power cut — the ledger is the durable record of a
+        # campaign, losing the line that was just acknowledged defeats it
         with self.path.open("a", encoding="utf-8") as fh:
             fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
 
     def _known_keys(self) -> set[tuple[str, int]]:
         if self._seen is None:

@@ -659,6 +659,179 @@ def _congestion_section(curves: list[CongestionCurve]) -> list[str]:
     return parts
 
 
+#: dynamics panel cap: entries beyond this stay in the ledger only
+_MAX_DYNAMICS = 8
+
+
+def flight_entries(results: list[RunResult]) -> list[tuple[str, dict]]:
+    """Pick the flight documents worth rendering in the dynamics panel.
+
+    Flight-instrumented runs carry the timeline on ``telemetry.flight``.
+    Overload runs keep one entry per (shape, mode, arbiter) — the
+    highest saturation factor wins, where the open/closed contrast is
+    starkest.  Chaos runs keep one per (shape, fault rate) and plain
+    runs one per (shape, pattern, variant), the highest offered load
+    winning in both.  Returns ``[(label, flight document), ...]``
+    sorted by label, capped at :data:`_MAX_DYNAMICS` entries.
+    """
+    chosen: dict[tuple, tuple[float, str, dict]] = {}
+    for result in results:
+        t = result.telemetry
+        if t is None or getattr(t, "flight", None) is None:
+            continue
+        c = result.config
+        shape = f"{c.network} {c.k}-ary {c.n}-dim"
+        rel = getattr(t, "reliability", None) or {}
+        overload = rel.get("overload")
+        storm = rel.get("storm")
+        if overload is not None:
+            key = (shape, "overload", overload["mode"], overload["arbiter"])
+            rank = overload["factor"]
+            label = (
+                f"{shape}, {c.pattern}, {overload['mode']} loop "
+                f"({overload['arbiter']}), {overload['factor']:g}× saturation"
+            )
+        elif storm is not None:
+            key = (shape, "chaos", storm["fault_rate"], storm["repair_cycles"])
+            rank = c.load
+            label = (
+                f"{shape}, chaos fault rate {storm['fault_rate']:g}, "
+                f"load {c.load:g}"
+            )
+        else:
+            key = (shape, "plain", c.pattern, c.algorithm, c.vcs)
+            rank = c.load
+            label = (
+                f"{shape}, {c.pattern}, {_series_label(c.algorithm, c.vcs)}, "
+                f"load {c.load:g}"
+            )
+        prev = chosen.get(key)
+        if prev is None or rank > prev[0]:
+            chosen[key] = (rank, label, t.flight)
+    entries = sorted(
+        ((label, doc) for _, label, doc in chosen.values()), key=lambda e: e[0]
+    )
+    return entries[:_MAX_DYNAMICS]
+
+
+def _dynamics_svg(entries: list[tuple[str, dict, str]]) -> str:
+    """Delivered-rate and backlog overlays over the shared cycle axis.
+
+    One curve per flight entry; for an open-vs-closed overload pair this
+    is the collapse contrast in the time domain — the open loop's
+    delivered rate sagging under a growing backlog while the closed
+    loop's stays level.  Annotations render as dashed markers with
+    hover tooltips on the rate panel.
+    """
+    x_hi = y_hi = b_hi = 0.0
+    for _, doc, _ in entries:
+        series = doc.get("series", {})
+        cycles = series.get("cycle") or [1]
+        spans = series.get("span") or [1] * len(cycles)
+        x_hi = max(x_hi, cycles[-1])
+        for key in ("offered", "delivered"):
+            for i, v in enumerate(series.get(key) or ()):
+                y_hi = max(y_hi, v / (spans[i] or 1))
+        b_hi = max(b_hi, max(series.get("backlog") or [0]))
+    left = _Panel(0.0, x_hi or 1.0, 0.0, (y_hi or 1.0) * 1.1, _MARGIN_L)
+    right = _Panel(
+        0.0, x_hi or 1.0, 0.0, (b_hi or 1.0) * 1.1,
+        _MARGIN_L + _PANEL_W + _PANEL_GAP,
+    )
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {_SVG_W} {_SVG_H}" '
+        f'width="{_SVG_W}" height="{_SVG_H}" role="img">'
+    ]
+    parts += left.frame("delivery rate", "cycle", "delivered (flits/cycle)")
+    parts += right.frame("source backlog", "cycle", "queued flits")
+    top, bottom = _MARGIN_T, _MARGIN_T + _PANEL_H
+    for label, doc, color in entries:
+        series = doc.get("series", {})
+        cycles = series.get("cycle") or []
+        spans = series.get("span") or [1] * len(cycles)
+        delivered = series.get("delivered") or []
+        backlog = series.get("backlog") or []
+        rate = " ".join(
+            f"{left.x(cycles[i]):.1f},"
+            f"{left.y(delivered[i] / (spans[i] or 1)):.1f}"
+            for i in range(len(cycles))
+        )
+        parts.append(
+            f'<polyline points="{rate}" class="curve" stroke="{color}">'
+            f"<title>{html.escape(label)}</title></polyline>"
+        )
+        if backlog:
+            queue = " ".join(
+                f"{right.x(cycles[i]):.1f},{right.y(backlog[i]):.1f}"
+                for i in range(len(cycles))
+            )
+            parts.append(
+                f'<polyline points="{queue}" class="curve" stroke="{color}">'
+                f"<title>{html.escape(label)}</title></polyline>"
+            )
+        for ann in doc.get("annotations", ()):
+            px = left.x(min(ann.get("cycle", 0), x_hi))
+            tooltip = f"{label}: {ann.get('kind', '?')} @ {ann.get('cycle', '?')}"
+            parts.append(
+                f'<line x1="{px:.1f}" y1="{top}" x2="{px:.1f}" y2="{bottom}" '
+                f'class="ref" stroke="{color}">'
+                f"<title>{html.escape(tooltip)}</title></line>"
+            )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _dynamics_section(entries: list[tuple[str, dict]]) -> list[str]:
+    """The flight-recorder panel: rate/backlog overlay + per-run timelines."""
+    from .heatmap import flight_timeline_svg
+
+    colored = [
+        (label, doc, _PALETTE[i % len(_PALETTE)])
+        for i, (label, doc) in enumerate(entries)
+    ]
+    parts = ["<h2>Dynamics (flight recorder)</h2>"]
+    parts.append(
+        '<p class="muted">Bounded multi-layer time series sampled during '
+        "flight-instrumented runs: injection and delivery rates, fabric "
+        "occupancy, transport retransmissions and congestion-window "
+        "dynamics on one cycle axis.  Dashed markers stamp annotated "
+        "events — fault strikes, the first ECN mark and window decrease, "
+        "and the collapse onset (sustained delivery shortfall against the "
+        "offered rate).</p>"
+    )
+    legend = [
+        f'<span><i class="swatch" style="background:{color}"></i>'
+        f"{html.escape(label)}</span>"
+        for label, _, color in colored
+    ]
+    parts.append(f'<p class="legend">{"".join(legend)}</p>')
+    parts.append(_dynamics_svg(colored))
+    rows = []
+    for label, doc, _ in colored:
+        for ann in doc.get("annotations", ()):
+            rows.append((label, ann))
+    if rows:
+        parts.append("<table>")
+        parts.append(
+            "<tr><th>run</th><th>annotation</th><th>cycle</th>"
+            "<th>detail</th></tr>"
+        )
+        for label, ann in rows:
+            kind = ann.get("kind", "?")
+            cls = "warn" if kind in ("collapse_onset", "stall") else "num"
+            parts.append(
+                f"<tr><td>{html.escape(label)}</td>"
+                f'<td class="{cls}">{html.escape(kind)}</td>'
+                f'<td class="num">{ann.get("cycle", "?")}</td>'
+                f"<td>{html.escape(str(ann.get('detail') or ''))}</td></tr>"
+            )
+        parts.append("</table>")
+    for label, doc, _ in colored:
+        parts.append(f"<h3>flight timeline ({html.escape(label)})</h3>")
+        parts.append(flight_timeline_svg(doc))
+    return parts
+
+
 _CSS = """
 body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 960px;
        color: #1a1a2e; background: #fff; }
@@ -773,6 +946,7 @@ def render_scorecard(
     forensics: dict[str, tuple[str, dict]] | None = None,
     reliability: list[ReliabilityCurve] | None = None,
     congestion: list[CongestionCurve] | None = None,
+    dynamics: list[tuple[str, dict]] | None = None,
 ) -> str:
     """The full self-contained HTML document for a set of figures.
 
@@ -784,6 +958,9 @@ def render_scorecard(
     goodput-degradation panel after the figures, and ``congestion``
     curves (from :func:`congestion_curves`) the congestion-collapse
     panel contrasting open- and closed-loop overload behaviour.
+    ``dynamics`` entries (from :func:`flight_entries`) append the
+    flight-recorder panel: time-domain rate/backlog overlays, the
+    annotation table and one stacked timeline per entry.
     """
     scored = [f.score for f in figures if f.score is not None]
     overall = sum(scored) / len(scored) if scored else None
@@ -826,6 +1003,8 @@ def render_scorecard(
         parts += _reliability_section(reliability)
     if congestion:
         parts += _congestion_section(congestion)
+    if dynamics:
+        parts += _dynamics_section(dynamics)
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -843,8 +1022,10 @@ def write_scorecard(
     Chaos-campaign runs are partitioned out of the paper figures into
     the reliability panel (goodput degradation vs fault rate), and
     overload runs into the congestion-collapse panel (goodput and p99
-    vs saturation multiples, open vs closed loop).  Returns the figures
-    (with fidelity populated) for programmatic use.
+    vs saturation multiples, open vs closed loop).  Flight-instrumented
+    runs of any kind feed the dynamics panel (time-domain overlays with
+    annotations).  Returns the figures (with fidelity populated) for
+    programmatic use.
     """
     plain, chaos, congestion = partition_results(results)
     figures = figures_from_results(plain, tol) if plain else []
@@ -855,6 +1036,7 @@ def write_scorecard(
             forensics=forensics_by_figure(plain),
             reliability=reliability_curves(chaos),
             congestion=congestion_curves(congestion),
+            dynamics=flight_entries(results),
         ),
         encoding="utf-8",
     )

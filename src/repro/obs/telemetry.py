@@ -70,6 +70,10 @@ class RunTelemetry:
             campaign points, the fault-storm recipe under ``"storm"``)
             attached by :func:`repro.traffic.transport.attach_reliability`;
             ``None`` for runs without the transport and older archives.
+        flight: the flight-recorder timeline document (cross-layer
+            per-interval series, hot links, annotations) attached by
+            :class:`repro.obs.flight.FlightRecorder` at run end; ``None``
+            for unrecorded runs and older archives.
     """
 
     config_hash: str
@@ -81,6 +85,7 @@ class RunTelemetry:
     phase_seconds: dict[str, float] | None = None
     forensics: dict | None = None
     reliability: dict | None = None
+    flight: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON documents."""
@@ -103,6 +108,8 @@ class RunTelemetry:
             forensics=doc.get("forensics"),
             # absent from pre-reliability archives and transportless runs
             reliability=doc.get("reliability"),
+            # absent from pre-flight archives and unrecorded runs
+            flight=doc.get("flight"),
         )
 
     def summary(self) -> str:

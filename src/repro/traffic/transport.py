@@ -113,6 +113,7 @@ class _Message:
         "delivered_first",
         "deadline",
         "claimed",
+        "last_sent",
     )
 
     def __init__(self, src: int, dst: int, seq: int, size: int, created: int):
@@ -131,6 +132,8 @@ class _Message:
         self.deadline = -1
         #: holds a congestion-window slot right now (closed loop only)
         self.claimed = False
+        #: cycle the latest copy injected (drives the ACK RTT estimate)
+        self.last_sent = created
 
 
 class ReliableSource:
@@ -237,6 +240,9 @@ class ReliableTransport(Probe):
         self.late_acks = 0
         self.drops_seen = 0
         self.max_attempts = 0
+        #: EWMA of injection-to-ACK round trips (None until the first
+        #: fresh ACK); includes the modeled ack_delay by construction
+        self.rtt_estimate: float | None = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -336,6 +342,10 @@ class ReliableTransport(Probe):
         waiting = self._waiting.get(node)
         return len(waiting) if waiting else 0
 
+    def held_total(self) -> int:
+        """Messages waiting for a window slot across all nodes."""
+        return sum(len(waiting) for waiting in self._waiting.values())
+
     def unresolved(self, node: int) -> int:
         """Messages of ``node`` not yet ACKed or given up."""
         return self._unresolved[node]
@@ -354,6 +364,7 @@ class ReliableTransport(Probe):
             return  # foreign entry interleaved; leave the registry alone
         msg = fifo.popleft()
         self._by_pid[packet.pid] = msg
+        msg.last_sent = cycle
         if msg.attempts > 0:
             self.retransmissions += 1
             if cycle >= self._warmup:
@@ -430,6 +441,13 @@ class ReliableTransport(Probe):
         msg.deadline = -1  # disarms any outstanding timer (lazy)
         self._unresolved[msg.src] -= 1
         self.acked += 1
+        rtt = cycle - msg.last_sent
+        if rtt >= 0:
+            self.rtt_estimate = (
+                float(rtt)
+                if self.rtt_estimate is None
+                else 0.875 * self.rtt_estimate + 0.125 * rtt
+            )
         control = self.congestion
         if control is not None:
             control.on_ack(cycle, msg.src, msg.dst, bool(marked), msg.claimed)

@@ -13,6 +13,7 @@ from repro.obs.bench import (
     REGRESSION_EXIT_CODE,
     bench_document,
     compare,
+    compare_document,
     load_baseline,
     measure_entry,
     remeasure,
@@ -70,10 +71,13 @@ class TestMeasure:
             measure_entry("x", small_cube_config(), "off", repeats=0)
 
     def test_probe_specs_cover_off_and_on(self):
-        assert set(PROBE_FACTORIES) == {"off", "null", "traced", "forensics"}
+        assert set(PROBE_FACTORIES) == {
+            "off", "null", "traced", "forensics", "flight"
+        }
         assert PROBE_FACTORIES["off"]() is None
         assert PROBE_FACTORIES["null"]() is not None
         assert PROBE_FACTORIES["forensics"]() is not None
+        assert PROBE_FACTORIES["flight"]() is not None
 
 
 class TestCompare:
@@ -108,6 +112,32 @@ class TestCompare:
     def test_bad_threshold_rejected(self, baseline):
         with pytest.raises(ConfigurationError, match="threshold"):
             compare(baseline, baseline["entries"], threshold=0.0)
+
+
+class TestCompareDocument:
+    def test_clean_comparison_passes(self, baseline):
+        doc = compare_document(baseline, copy.deepcopy(baseline["entries"]))
+        assert doc["kind"] == "bench-compare"
+        assert doc["passed"] is True
+        assert doc["findings"] == []
+        assert [e["name"] for e in doc["entries"]] == [
+            e["name"] for e in baseline["entries"]
+        ]
+        assert all(e["delta"] == 0.0 for e in doc["entries"])
+        assert not any(e["regressed"] for e in doc["entries"])
+
+    def test_regression_marks_the_entry(self, baseline):
+        doc = compare_document(slowed(baseline, 1.25), baseline["entries"])
+        assert doc["passed"] is False
+        assert doc["findings"]
+        regressed = [e for e in doc["entries"] if e["regressed"]]
+        assert regressed
+        # the delta is relative to the doctored (faster) baseline
+        assert all(e["delta"] < 0 for e in regressed)
+
+    def test_document_is_json_serializable(self, baseline):
+        doc = compare_document(baseline, copy.deepcopy(baseline["entries"]))
+        assert json.loads(json.dumps(doc)) == doc
 
 
 class TestPersistence:
@@ -160,6 +190,28 @@ class TestCli:
         code = main(["bench", "--compare", str(doctored), "--threshold", "0.15"])
         assert code == REGRESSION_EXIT_CODE
         assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_compare_json_output(self, baseline, tmp_path, capsys):
+        clean = tmp_path / "clean.json"
+        save_baseline(baseline, clean)
+        code = main(
+            ["bench", "--compare", str(clean), "--threshold", "0.9", "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kind"] == "bench-compare"
+        assert doc["passed"] is True
+
+        doctored = tmp_path / "fast.json"
+        save_baseline(slowed(baseline, 5.0), doctored)
+        code = main(
+            ["bench", "--compare", str(doctored), "--threshold", "0.15",
+             "--json"]
+        )
+        assert code == REGRESSION_EXIT_CODE
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["passed"] is False
+        assert any(e["regressed"] for e in doc["entries"])
 
     def test_record_mode_writes_baseline(self, tmp_path, capsys):
         out = tmp_path / "BENCH_test.json"

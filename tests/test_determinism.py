@@ -13,6 +13,7 @@ import json
 from repro.experiments.chaos import StormSpec, run_chaos_point
 from repro.experiments.congestion import OverloadSpec, run_overload_point
 from repro.metrics.io import run_result_to_dict
+from repro.obs.flight import FlightConfig, simulate_with_flight
 from repro.obs.forensics import simulate_with_forensics
 from repro.sim.run import simulate
 from repro.traffic.congestion import CongestionConfig, simulate_congested
@@ -80,6 +81,39 @@ class TestRunDocumentDeterminism:
             arbiter="age",
             transport=TransportConfig(base_timeout=32, jitter=4),
             control=CongestionConfig(window_cycles=32),
+        )
+        _assert_identical(
+            lambda: run_overload_point(small_tree_config(load=0.6), spec)
+        )
+
+    def test_flight_instrumented_run(self):
+        # the flight timeline rides on telemetry.flight; its columnar
+        # series, hot-link rankings and annotations must be byte-stable
+        _assert_identical(
+            lambda: simulate_with_flight(
+                small_tree_config(load=0.5), FlightConfig(interval_cycles=64)
+            )
+        )
+
+    def test_flight_instrumented_run_with_decimation(self):
+        # pair-coalescing must be deterministic too: same rows merge in
+        # the same order, hot-link ties break on the label
+        _assert_identical(
+            lambda: simulate_with_flight(
+                small_tree_config(load=0.5),
+                FlightConfig(interval_cycles=4, max_intervals=8),
+            )
+        )
+
+    def test_flight_instrumented_overload_point(self):
+        # recorder + transport + control loop: annotations (first mark,
+        # first decrease) and the control-plane columns, end to end
+        spec = OverloadSpec(
+            closed_loop=True,
+            saturation=0.4,
+            transport=TransportConfig(base_timeout=32, jitter=4),
+            control=CongestionConfig(window_cycles=32),
+            flight=FlightConfig(interval_cycles=64),
         )
         _assert_identical(
             lambda: run_overload_point(small_tree_config(load=0.6), spec)
