@@ -27,11 +27,15 @@ short uniform-traffic run:
   ``--flight``/``--watch`` configuration.  Its *marginal* cost is gated
   against the null probe (``--flight-threshold``, default 10%): the
   recorder rides the same per-event dispatch the null probe already
-  pays, so flight-vs-null isolates the sampling work itself.
+  pays, so flight-vs-null isolates the sampling work itself;
+* **statehash** — the state-digest audit trail at its default interval:
+  the ``--statehash`` configuration.  Gated against the null probe the
+  same way (``--statehash-threshold``, default 10%), isolating the
+  per-interval hashing sweep over every lane, node and RNG.
 
 It exits nonzero when the *null* overhead relative to *off* exceeds
-``--threshold``, or when the *flight* overhead relative to *null*
-exceeds ``--flight-threshold``.  The threshold is deliberately generous — per-event
+``--threshold``, or when the *flight*/*statehash* overhead relative to
+*null* exceeds its per-probe threshold.  The threshold is deliberately generous — per-event
 Python dispatch costs tens of percent and that is fine for instrumented
 runs — the guard exists to catch an accidental rewrite that makes the
 *default* path pay per-flit costs (which would show up here as null
@@ -74,6 +78,9 @@ def main(argv=None) -> int:
     ap.add_argument("--flight-threshold", type=float, default=0.10,
                     help="max tolerated flight-recorder overhead relative"
                          " to the null probe (marginal sampling cost)")
+    ap.add_argument("--statehash-threshold", type=float, default=0.10,
+                    help="max tolerated state-digest overhead relative"
+                         " to the null probe (marginal hashing cost)")
     ap.add_argument("--trace-out", default=None,
                     help="write the instrumented run's Chrome trace here")
     ap.add_argument("--out", default=str(DEFAULT_OUT),
@@ -93,7 +100,7 @@ def main(argv=None) -> int:
     entries = [
         measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
         for spec in ("off", "null", "traced", "forensics", "reliable",
-                     "congestion", "flight")
+                     "congestion", "flight", "statehash")
     ]
     rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
     off = rates["off"]
@@ -140,6 +147,17 @@ def main(argv=None) -> int:
     else:
         print(f"ok: flight-recorder overhead {flight_overhead:+.1%} over "
               f"the null probe <= threshold {args.flight_threshold:.0%}")
+    statehash_overhead = (null - rates["statehash"]) / null if null else 0.0
+    if statehash_overhead > args.statehash_threshold:
+        print(
+            f"FAIL: state-digest overhead {statehash_overhead:.1%} over the "
+            f"null probe exceeds threshold {args.statehash_threshold:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"ok: state-digest overhead {statehash_overhead:+.1%} over "
+              f"the null probe <= threshold {args.statehash_threshold:.0%}")
     return 1 if failed else 0
 
 

@@ -7,7 +7,14 @@ Subcommands:
 * ``sweep`` — a load sweep for one configuration (one CNF curve), with
   live per-point progress on stderr (``--json`` for machine output);
 * ``trace`` — one instrumented run: packet-lifecycle event trace
-  (Chrome ``trace_event`` and/or JSONL) plus windowed per-lane counters;
+  (Chrome ``trace_event`` and/or JSONL) plus windowed per-lane counters
+  (compose ``--flight`` / ``--statehash`` for the timeline and digest
+  chain alongside the trace);
+* ``diff`` — the divergence bisection debugger: compare two runs' state
+  digest chains (run documents, ledger records or config JSON), locate
+  the first divergent interval, replay both sides to the exact first
+  divergent cycle and name the subsystem/link/lane/flit that differs
+  (exit 0 identical, 4 diverged);
 * ``fig5`` / ``fig6`` / ``fig7`` — regenerate a paper figure's series
   (``--plot`` adds terminal scatter plots for fig5/fig6);
 * ``tables`` — print Tables 1 and 2 next to the paper's values;
@@ -41,18 +48,26 @@ renders into a scorecard.  ``--forensics`` (on ``run`` and ``sweep``)
 attaches the congestion-forensics tier — per-packet latency
 attribution, wait-for graph sampling, link hotspots — whose document
 rides on the run's telemetry into the ledger for ``analyze``.
-``--flight`` (on ``run``, ``sweep``, ``chaos`` and ``congestion``)
-attaches the flight recorder (:mod:`repro.obs.flight`): a bounded
-multi-layer time series — engine rates, link occupancy, transport
-retransmissions, congestion windows — riding on ``telemetry.flight``
-into the run document and ledger for the scorecard's dynamics panel.
-``--watch`` adds a live in-place status line on stderr and
-``--events PATH`` streams samples/annotations (or per-point campaign
-records) as JSONL; both imply ``--flight``.
+``--flight`` (on ``run``, ``sweep``, ``trace``, ``chaos`` and
+``congestion``) attaches the flight recorder (:mod:`repro.obs.flight`):
+a bounded multi-layer time series — engine rates, link occupancy,
+transport retransmissions, congestion windows — riding on
+``telemetry.flight`` into the run document and ledger for the
+scorecard's dynamics panel.  ``--watch`` adds a live in-place status
+line on stderr and ``--events PATH`` streams samples/annotations (or
+per-point campaign records) as JSONL; both imply ``--flight``.
+``--statehash`` (on ``run`` and ``trace``) attaches the state-digest
+audit trail (:mod:`repro.obs.statehash`): a bounded chain of layered
+Merkle-style state roots on ``telemetry.statehash``, the input of
+``diff`` and the scorecard's audit panel; ``--audit`` additionally runs
+the engine invariant audit at every digest boundary (and implies
+``--statehash``).
 
 Examples::
 
     repro-net run --network cube --algorithm duato --load 0.5 --json
+    repro-net run --network cube --load 0.5 --statehash --json > a.json
+    repro-net diff a.json b.json --out divergence.html
     repro-net run --network cube --pattern transpose --load 0.7 \\
         --forensics --ledger runs.jsonl
     repro-net analyze --ledger runs.jsonl --heatmap hotspots.svg
@@ -198,6 +213,58 @@ def _flight_config(args):
     return FlightConfig()
 
 
+def _add_statehash(p: argparse.ArgumentParser) -> None:
+    """State-digest audit-trail flags shared by run/trace."""
+    p.add_argument(
+        "--statehash",
+        nargs="?",
+        const=0,
+        default=None,
+        type=int,
+        metavar="CYCLES",
+        help=(
+            "attach the state-digest audit trail (bounded Merkle-style "
+            "digest chain on telemetry.statehash, the input of `diff`); "
+            "optional value overrides the digest interval in cycles "
+            "(default 128)"
+        ),
+    )
+    p.add_argument(
+        "--audit",
+        action="store_true",
+        help=(
+            "run the engine invariant audit at every digest boundary "
+            "(implies --statehash); violations then surface within one "
+            "interval of their origin instead of at drain time"
+        ),
+    )
+
+
+def _statehash_config(args):
+    """The StateDigestConfig requested by --statehash/--audit, or None."""
+    interval = getattr(args, "statehash", None)
+    audit = getattr(args, "audit", False)
+    if interval is None and not audit:
+        return None
+    from .obs.statehash import StateDigestConfig
+
+    if interval:
+        return StateDigestConfig(interval_cycles=interval, audit=audit)
+    return StateDigestConfig(audit=audit)
+
+
+def _compose_probes(probes):
+    """One probe from many (None entries dropped), or None."""
+    live = [p for p in probes if p is not None]
+    if not live:
+        return None
+    if len(live) == 1:
+        return live[0]
+    from .obs import MultiProbe
+
+    return MultiProbe(live)
+
+
 def _watch_sampler(stream=None):
     """An ``on_sample`` callback rendering one in-place status line."""
     stream = stream or sys.stderr
@@ -335,15 +402,22 @@ def cmd_run(args) -> int:
                 on_sample=_watch_sampler() if args.watch else None,
                 events=args.events,
             )
+        digests = None
+        statehash = _statehash_config(args)
+        if statehash is not None:
+            from .obs.statehash import StateDigestProbe
+
+            digests = StateDigestProbe(statehash)
+        extra = _compose_probes([recorder, digests])
         deadlock = probe = None
         if args.forensics:
             from .obs.forensics import run_with_forensics
 
             result, probe, deadlock = run_with_forensics(
-                config, sample_every=args.sample_every, probe=recorder
+                config, sample_every=args.sample_every, probe=extra
             )
         else:
-            result = simulate(config, probe=recorder)
+            result = simulate(config, probe=extra)
         if args.watch:
             print(file=sys.stderr)  # finish the in-place status line
         ledger = _open_ledger(args)
@@ -374,6 +448,10 @@ def cmd_run(args) -> int:
             from .obs.flight import describe_flight
 
             print(describe_flight(result.telemetry.flight))
+        if result.telemetry is not None and result.telemetry.statehash is not None:
+            from .obs.statehash import describe_statehash
+
+            print(describe_statehash(result.telemetry.statehash))
         if deadlock is not None:
             print(f"error: {deadlock}", file=sys.stderr)
             return 1
@@ -487,7 +565,24 @@ def cmd_trace(args) -> int:
         config = _make_config(args, args.load)
         tracer = TraceProbe(max_events=args.max_events)
         counters = WindowedCounterProbe(window_cycles=args.window)
-        engine = build_engine(config, probe=MultiProbe([tracer, counters]))
+        probes = [tracer, counters]
+        recorder = None
+        flight = _flight_config(args)
+        if flight is not None:
+            from .obs.flight import FlightRecorder
+
+            recorder = FlightRecorder(
+                flight,
+                on_sample=_watch_sampler() if args.watch else None,
+                events=args.events,
+            )
+            probes.append(recorder)
+        statehash = _statehash_config(args)
+        if statehash is not None:
+            from .obs.statehash import StateDigestProbe
+
+            probes.append(StateDigestProbe(statehash))
+        engine = build_engine(config, probe=MultiProbe(probes))
         deadlocked = None
         try:
             result = engine.run()
@@ -495,6 +590,8 @@ def cmd_trace(args) -> int:
             # the trace up to the wedge is exactly what one wants to see
             deadlocked = exc
             result = engine.result
+        if recorder is not None and args.watch:
+            print(file=sys.stderr)
 
         ledger = _open_ledger(args)
         if ledger is not None:
@@ -538,6 +635,14 @@ def cmd_trace(args) -> int:
             + (" (truncated)" if tracer.truncated else "")
             + f", {len(counters.windows)} counter windows -> {', '.join(written)}"
         )
+        if result.telemetry is not None and result.telemetry.flight is not None:
+            from .obs.flight import describe_flight
+
+            print(describe_flight(result.telemetry.flight))
+        if result.telemetry is not None and result.telemetry.statehash is not None:
+            from .obs.statehash import describe_statehash
+
+            print(describe_statehash(result.telemetry.statehash))
         blocked = counters.most_blocked(3)
         if blocked and blocked[0][1]["blocked_cycles"]:
             print("most blocked channel directions (switch, port):")
@@ -554,6 +659,27 @@ def cmd_trace(args) -> int:
         return 0
 
     return _with_cprofile(args, body)
+
+
+def cmd_diff(args) -> int:
+    from .obs.diff import DIVERGENCE_EXIT_CODE, describe_diff, diff_runs
+
+    doc = diff_runs(
+        args.a,
+        args.b,
+        interval=args.interval,
+        max_findings=args.max_findings,
+    )
+    if args.out:
+        from .obs.report import render_diff_html
+
+        pathlib.Path(args.out).write_text(render_diff_html(doc))
+        print(f"wrote {args.out}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(doc, indent=1, sort_keys=True))
+    else:
+        print(describe_diff(doc))
+    return 0 if doc["identical"] else DIVERGENCE_EXIT_CODE
 
 
 def cmd_fig5(args) -> int:
@@ -1132,6 +1258,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="wait-for graph sampling period in cycles (with --forensics)",
     )
     _add_flight(p)
+    _add_statehash(p)
     _add_observability(p)
     p.set_defaults(func=cmd_run)
 
@@ -1183,6 +1310,8 @@ def build_parser() -> argparse.ArgumentParser:
         default=1_000_000,
         help="trace event cap (the trace is marked truncated past it)",
     )
+    _add_flight(p)
+    _add_statehash(p)
     _add_observability(p)
     p.set_defaults(func=cmd_trace)
 
@@ -1420,6 +1549,47 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the raw forensics document instead of the text digest",
     )
     p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser(
+        "diff",
+        help="bisect the first divergent cycle between two digested runs",
+    )
+    p.add_argument(
+        "a",
+        help="first side: run document / ledger JSONL / config JSON",
+    )
+    p.add_argument(
+        "b",
+        help="second side: run document / ledger JSONL / config JSON",
+    )
+    p.add_argument(
+        "--interval",
+        type=int,
+        default=None,
+        metavar="CYCLES",
+        help=(
+            "digest interval for re-runs (default 128); sides that already "
+            "carry a chain at a different stride are re-run to align"
+        ),
+    )
+    p.add_argument(
+        "--max-findings",
+        type=int,
+        default=64,
+        help="cap on per-field findings in the structured state diff",
+    )
+    p.add_argument(
+        "--out",
+        default=None,
+        metavar="HTML",
+        help="also write the divergence report as an HTML page",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw diff document instead of the text digest",
+    )
+    p.set_defaults(func=cmd_diff)
 
     p = sub.add_parser(
         "report",

@@ -48,6 +48,16 @@ On top of the per-run signals sits the aggregation tier:
 * :mod:`repro.obs.percentiles` — the shared latency-percentile
   formatting used by ``run --latencies``, ``analyze`` and the flight
   digests.
+* :mod:`repro.obs.statehash` — :class:`StateDigestProbe`: the layered
+  Merkle-style state-digest audit trail (per-lane leaves rolled up per
+  link / node / subsystem into per-interval roots on a bounded hash
+  chain), ``Engine.state_fingerprint()`` and the un-hashed
+  :func:`state_snapshot` — the backend validation contract of
+  DESIGN.md; the chain rides on ``telemetry.statehash``.
+* :mod:`repro.obs.diff` — the divergence bisection debugger behind
+  ``repro-net diff``: compares two digest chains, replays both configs
+  to the exact first divergent cycle and names the subsystem, link,
+  lane, flit or credit counter that differs.
 
 CLI entry points: ``repro-net trace`` for instrumented single runs,
 ``repro-net run/sweep/trace --json`` for machine-readable results
@@ -113,6 +123,22 @@ _LAZY = {
     "simulate_with_flight": "flight",
     "format_percentiles": "percentiles",
     "percentile_table": "percentiles",
+    "STATEHASH_FORMAT_VERSION": "statehash",
+    "DIGEST_ALGO": "statehash",
+    "StateDigestConfig": "statehash",
+    "StateDigestProbe": "statehash",
+    "describe_statehash": "statehash",
+    "engine_fingerprint": "statehash",
+    "simulate_with_statehash": "statehash",
+    "state_snapshot": "statehash",
+    "DIFF_FORMAT_VERSION": "diff",
+    "DIVERGENCE_EXIT_CODE": "diff",
+    "compare_chains": "diff",
+    "describe_diff": "diff",
+    "diff_runs": "diff",
+    "snapshot_diff": "diff",
+    "statehash_entries": "report",
+    "render_diff_html": "report",
 }
 
 
@@ -180,6 +206,22 @@ __all__ = [
     "simulate_with_flight",
     "format_percentiles",
     "percentile_table",
+    "STATEHASH_FORMAT_VERSION",
+    "DIGEST_ALGO",
+    "StateDigestConfig",
+    "StateDigestProbe",
+    "describe_statehash",
+    "engine_fingerprint",
+    "simulate_with_statehash",
+    "state_snapshot",
+    "DIFF_FORMAT_VERSION",
+    "DIVERGENCE_EXIT_CODE",
+    "compare_chains",
+    "describe_diff",
+    "diff_runs",
+    "snapshot_diff",
+    "statehash_entries",
+    "render_diff_html",
     "PHASE_NAMES",
     "RunTelemetry",
     "config_digest",

@@ -68,6 +68,13 @@ def _flight_probe():
     return FlightRecorder()
 
 
+def _statehash_probe():
+    # imported on use: statehash sits above this module in the layering
+    from .statehash import StateDigestProbe
+
+    return StateDigestProbe()
+
+
 #: probe spec names -> factories; "off" runs the uninstrumented fast path
 PROBE_FACTORIES = {
     "off": lambda: None,
@@ -77,6 +84,7 @@ PROBE_FACTORIES = {
     ),
     "forensics": _forensics_probe,
     "flight": _flight_probe,
+    "statehash": _statehash_probe,
 }
 
 

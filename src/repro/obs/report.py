@@ -714,6 +714,30 @@ def flight_entries(results: list[RunResult]) -> list[tuple[str, dict]]:
     return entries[:_MAX_DYNAMICS]
 
 
+def statehash_entries(results: list[RunResult]) -> list[tuple[str, dict]]:
+    """The digest chains worth rendering in the audit panel.
+
+    Every result carrying ``telemetry.statehash`` contributes one row,
+    labelled like the dynamics panel.  All rows are kept (the table is
+    cheap and the whole point is spotting an odd chain head among
+    replicas), sorted by (label, seed) for stable output.
+    """
+    entries = []
+    for result in results:
+        t = result.telemetry
+        if t is None or getattr(t, "statehash", None) is None:
+            continue
+        c = result.config
+        label = (
+            f"{c.network} {c.k}-ary {c.n}-dim, {c.pattern}, "
+            f"{_series_label(c.algorithm, c.vcs)}, load {c.load:g}, "
+            f"seed {c.seed}"
+        )
+        entries.append((label, t.statehash))
+    entries.sort(key=lambda e: e[0])
+    return entries
+
+
 def _dynamics_svg(entries: list[tuple[str, dict, str]]) -> str:
     """Delivered-rate and backlog overlays over the shared cycle axis.
 
@@ -832,6 +856,121 @@ def _dynamics_section(entries: list[tuple[str, dict]]) -> list[str]:
     return parts
 
 
+def _statehash_section(entries: list[tuple[str, dict]]) -> list[str]:
+    """The state-digest audit panel: one chain summary row per run.
+
+    Runs sharing a genesis (identical full config, seed included) are
+    replica groups: matching chain heads render as a reproducibility
+    check mark, a mismatch flags a divergence for ``repro diff``.
+    """
+    parts = ["<h2>State-digest audit</h2>"]
+    parts.append(
+        '<p class="muted">Bounded Merkle-style chains of per-interval '
+        "state roots (lanes, credits, routing, injection queues, "
+        "transport windows, RNG positions).  Two runs of one recipe must "
+        "agree on every root; <code>repro diff</code> bisects any "
+        "mismatch to the exact first divergent cycle.</p>"
+    )
+    by_genesis: dict[str, set[str]] = {}
+    for _, doc in entries:
+        by_genesis.setdefault(doc["genesis"], set()).add(doc["chain_head"])
+    parts.append("<table>")
+    parts.append(
+        "<tr><th>run</th><th>genesis (config digest)</th><th>samples</th>"
+        "<th>stride</th><th>final root</th><th>chain head</th>"
+        "<th>replicas</th></tr>"
+    )
+    for label, doc in entries:
+        heads = by_genesis[doc["genesis"]]
+        if len(heads) > 1:
+            replica = '<td class="bad">diverged</td>'
+        else:
+            replica = '<td class="good">consistent</td>'
+        final_root = doc["roots"][-1] if doc["roots"] else "—"
+        parts.append(
+            f"<tr><td>{html.escape(label)}</td>"
+            f"<td><code>{html.escape(doc['genesis'])}</code></td>"
+            f'<td class="num">{doc["entries"]}</td>'
+            f'<td class="num">{doc["stride"]}</td>'
+            f"<td><code>{html.escape(final_root)}</code></td>"
+            f"<td><code>{html.escape(doc['chain_head'])}</code></td>"
+            f"{replica}</tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
+def render_diff_html(doc: dict, title: str = "Divergence report") -> str:
+    """Self-contained HTML for one ``repro diff`` outcome document."""
+    verdict = (
+        '<p class="good">IDENTICAL over '
+        f"{doc['compared_entries']} common sampled cycles</p>"
+        if doc["identical"]
+        else '<p class="bad">DIVERGED — first divergent interval ends cycle '
+        f"{doc['first_divergent_interval_cycle']}, subsystems: "
+        f"{html.escape(', '.join(doc['subsystems_divergent']) or '?')}</p>"
+    )
+    parts = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8"/>',
+        f"<title>{html.escape(title)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{html.escape(title)}</h1>",
+        verdict,
+        "<table>",
+        "<tr><th>side</th><th>label</th><th>config</th><th>seed</th>"
+        "<th>samples</th><th>stride</th><th>chain head</th></tr>",
+    ]
+    for key in ("a", "b"):
+        side = doc[key]
+        parts.append(
+            f"<tr><td>{key}</td><td>{html.escape(side['label'])}</td>"
+            f"<td><code>{html.escape(side['config_hash'])}</code></td>"
+            f'<td class="num">{side["seed"]}</td>'
+            f'<td class="num">{side["entries"]}</td>'
+            f'<td class="num">{side["stride"]}</td>'
+            f"<td><code>{html.escape(side['chain_head'])}</code></td></tr>"
+        )
+    parts.append("</table>")
+    for note in doc["notes"]:
+        parts.append(f'<p class="muted">{html.escape(note)}</p>')
+    bisection = doc.get("bisection")
+    if bisection is not None:
+        status = bisection["status"]
+        if status == "exact":
+            parts.append(
+                f"<h2>Bisected to cycle {bisection['cycle']}</h2>"
+                f'<p>Divergent subsystems at that cycle: '
+                f"{html.escape(', '.join(bisection.get('subsystems', [])) or 'root only')}"
+                "</p>"
+            )
+        else:
+            parts.append(f'<h2>Bisection: <span class="warn">{html.escape(status)}</span></h2>')
+    if doc["findings"]:
+        parts.append("<table>")
+        parts.append(
+            "<tr><th>subsystem</th><th>location</th><th>lane</th>"
+            "<th>field</th><th>a</th><th>b</th></tr>"
+        )
+        for f in doc["findings"]:
+            parts.append(
+                f"<tr><td>{html.escape(f['subsystem'])}</td>"
+                f"<td>{html.escape(str(f['location'] or ''))}</td>"
+                f"<td>{html.escape(str(f['lane'] or ''))}</td>"
+                f"<td><code>{html.escape(f['path'])}</code></td>"
+                f"<td><code>{html.escape(repr(f['a']))}</code></td>"
+                f"<td><code>{html.escape(repr(f['b']))}</code></td></tr>"
+            )
+        parts.append("</table>")
+        if doc["findings_dropped"]:
+            parts.append(
+                f'<p class="muted">… {doc["findings_dropped"]} more differing '
+                "fields (raise --max-findings to see them)</p>"
+            )
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
 _CSS = """
 body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto; max-width: 960px;
        color: #1a1a2e; background: #fff; }
@@ -947,6 +1086,7 @@ def render_scorecard(
     reliability: list[ReliabilityCurve] | None = None,
     congestion: list[CongestionCurve] | None = None,
     dynamics: list[tuple[str, dict]] | None = None,
+    statehash: list[tuple[str, dict]] | None = None,
 ) -> str:
     """The full self-contained HTML document for a set of figures.
 
@@ -960,7 +1100,10 @@ def render_scorecard(
     panel contrasting open- and closed-loop overload behaviour.
     ``dynamics`` entries (from :func:`flight_entries`) append the
     flight-recorder panel: time-domain rate/backlog overlays, the
-    annotation table and one stacked timeline per entry.
+    annotation table and one stacked timeline per entry.  ``statehash``
+    entries (from :func:`statehash_entries`) append the state-digest
+    audit panel: one chain summary per digested run with a per-recipe
+    replica-consistency verdict.
     """
     scored = [f.score for f in figures if f.score is not None]
     overall = sum(scored) / len(scored) if scored else None
@@ -1005,6 +1148,8 @@ def render_scorecard(
         parts += _congestion_section(congestion)
     if dynamics:
         parts += _dynamics_section(dynamics)
+    if statehash:
+        parts += _statehash_section(statehash)
     parts.append("</body></html>")
     return "\n".join(parts)
 
@@ -1024,7 +1169,8 @@ def write_scorecard(
     overload runs into the congestion-collapse panel (goodput and p99
     vs saturation multiples, open vs closed loop).  Flight-instrumented
     runs of any kind feed the dynamics panel (time-domain overlays with
-    annotations).  Returns the figures (with fidelity populated) for
+    annotations), and digest-instrumented runs the state-digest audit
+    panel.  Returns the figures (with fidelity populated) for
     programmatic use.
     """
     plain, chaos, congestion = partition_results(results)
@@ -1037,6 +1183,7 @@ def write_scorecard(
             reliability=reliability_curves(chaos),
             congestion=congestion_curves(congestion),
             dynamics=flight_entries(results),
+            statehash=statehash_entries(results),
         ),
         encoding="utf-8",
     )

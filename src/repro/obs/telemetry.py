@@ -74,6 +74,11 @@ class RunTelemetry:
             per-interval series, hot links, annotations) attached by
             :class:`repro.obs.flight.FlightRecorder` at run end; ``None``
             for unrecorded runs and older archives.
+        statehash: the state-digest audit trail (the bounded chain of
+            per-interval Merkle-style state roots) attached by
+            :class:`repro.obs.statehash.StateDigestProbe` at run end —
+            the input of ``repro diff`` divergence bisection; ``None``
+            for undigested runs and older archives.
     """
 
     config_hash: str
@@ -86,6 +91,7 @@ class RunTelemetry:
     forensics: dict | None = None
     reliability: dict | None = None
     flight: dict | None = None
+    statehash: dict | None = None
 
     def to_dict(self) -> dict:
         """Plain-data form for JSON documents."""
@@ -110,6 +116,8 @@ class RunTelemetry:
             reliability=doc.get("reliability"),
             # absent from pre-flight archives and unrecorded runs
             flight=doc.get("flight"),
+            # absent from pre-statehash archives and undigested runs
+            statehash=doc.get("statehash"),
         )
 
     def summary(self) -> str:

@@ -698,6 +698,22 @@ class Engine:
             - self.dropped_packets_total
         )
 
+    def state_fingerprint(self, detail: bool = False) -> dict:
+        """Layered digest of the complete simulation state at this cycle.
+
+        The backend validation contract (see DESIGN.md): any alternative
+        engine backend must produce identical fingerprints at identical
+        cycles for identical configs.  Covers lanes, credits, routing,
+        injection queues, transport/AIMD state and RNG stream positions;
+        excludes measurement accumulators and wall-clock state.  With
+        ``detail``, per-link, per-lane and per-node leaf digests are
+        included for divergence localization.  Delegates to
+        :func:`repro.obs.statehash.engine_fingerprint`.
+        """
+        from ..obs.statehash import engine_fingerprint
+
+        return engine_fingerprint(self, detail=detail)
+
     def kill_packet(self, pkt: Packet, reason: str = "fault") -> int:
         """Tear down an in-flight worm (fail-stop fault semantics).
 

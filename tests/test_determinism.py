@@ -95,6 +95,30 @@ class TestRunDocumentDeterminism:
             )
         )
 
+    def test_statehash_instrumented_run(self):
+        # the digest chain rides on telemetry.statehash; every root,
+        # chain link and subsystem digest must be byte-stable or the
+        # divergence debugger would bisect noise
+        from repro.obs.statehash import StateDigestConfig, simulate_with_statehash
+
+        _assert_identical(
+            lambda: simulate_with_statehash(
+                small_cube_config(load=0.5), StateDigestConfig(interval_cycles=64)
+            )
+        )
+
+    def test_statehash_instrumented_run_with_decimation(self):
+        # pair-coalescing drops the same rows in the same order, and the
+        # chain head still commits to every root ever sampled
+        from repro.obs.statehash import StateDigestConfig, simulate_with_statehash
+
+        _assert_identical(
+            lambda: simulate_with_statehash(
+                small_tree_config(load=0.5),
+                StateDigestConfig(interval_cycles=4, max_intervals=8),
+            )
+        )
+
     def test_flight_instrumented_run_with_decimation(self):
         # pair-coalescing must be deterministic too: same rows merge in
         # the same order, hot-link ties break on the label
