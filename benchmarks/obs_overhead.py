@@ -31,7 +31,12 @@ short uniform-traffic run:
 * **statehash** — the state-digest audit trail at its default interval:
   the ``--statehash`` configuration.  Gated against the null probe the
   same way (``--statehash-threshold``, default 10%), isolating the
-  per-interval hashing sweep over every lane, node and RNG.
+  per-interval hashing sweep over every lane, node and RNG;
+* **checkpoint** — the digest-verified checkpoint probe at its default
+  interval: the ``--checkpoint`` configuration.  Gated against the null
+  probe the same way (``--checkpoint-threshold``, default 10%),
+  isolating the periodic engine pickle + atomic write + manifest
+  update.
 
 It exits nonzero when the *null* overhead relative to *off* exceeds
 ``--threshold``, or when the *flight*/*statehash* overhead relative to
@@ -81,6 +86,9 @@ def main(argv=None) -> int:
     ap.add_argument("--statehash-threshold", type=float, default=0.10,
                     help="max tolerated state-digest overhead relative"
                          " to the null probe (marginal hashing cost)")
+    ap.add_argument("--checkpoint-threshold", type=float, default=0.10,
+                    help="max tolerated checkpoint-probe overhead relative"
+                         " to the null probe (marginal snapshot cost)")
     ap.add_argument("--trace-out", default=None,
                     help="write the instrumented run's Chrome trace here")
     ap.add_argument("--out", default=str(DEFAULT_OUT),
@@ -100,7 +108,7 @@ def main(argv=None) -> int:
     entries = [
         measure_entry(f"obs-{spec}", config, spec, repeats=args.repeats)
         for spec in ("off", "null", "traced", "forensics", "reliable",
-                     "congestion", "flight", "statehash")
+                     "congestion", "flight", "statehash", "checkpoint")
     ]
     rates = {e["probe"]: e["cycles_per_sec"] for e in entries}
     off = rates["off"]
@@ -158,6 +166,17 @@ def main(argv=None) -> int:
     else:
         print(f"ok: state-digest overhead {statehash_overhead:+.1%} over "
               f"the null probe <= threshold {args.statehash_threshold:.0%}")
+    checkpoint_overhead = (null - rates["checkpoint"]) / null if null else 0.0
+    if checkpoint_overhead > args.checkpoint_threshold:
+        print(
+            f"FAIL: checkpoint-probe overhead {checkpoint_overhead:.1%} over "
+            f"the null probe exceeds threshold {args.checkpoint_threshold:.0%}",
+            file=sys.stderr,
+        )
+        failed = True
+    else:
+        print(f"ok: checkpoint-probe overhead {checkpoint_overhead:+.1%} over "
+              f"the null probe <= threshold {args.checkpoint_threshold:.0%}")
     return 1 if failed else 0
 
 

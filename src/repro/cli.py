@@ -61,7 +61,13 @@ audit trail (:mod:`repro.obs.statehash`): a bounded chain of layered
 Merkle-style state roots on ``telemetry.statehash``, the input of
 ``diff`` and the scorecard's audit panel; ``--audit`` additionally runs
 the engine invariant audit at every digest boundary (and implies
-``--statehash``).
+``--statehash``).  ``--checkpoint DIR`` (on ``run``, ``sweep``,
+``chaos`` and ``congestion``) writes digest-verified engine
+checkpoints (:mod:`repro.sim.checkpoint`) every ``--checkpoint-every``
+cycles; ``--resume DIR`` finishes an interrupted run or campaign from
+the newest valid checkpoint, reloading already-completed campaign
+points from their per-point caches.  Campaigns exit 130 on Ctrl-C and
+143 on SIGTERM, flushing completed points either way.
 
 Examples::
 
@@ -83,9 +89,12 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import pathlib
+import signal
 import sys
+import threading
 
 from .errors import ConfigurationError, ReproError
 from .experiments.degradation import degradation_experiment, transient_experiment
@@ -330,6 +339,113 @@ def _campaign_progress(args):
     return progress, events.close
 
 
+def _add_checkpoint(p: argparse.ArgumentParser) -> None:
+    """Checkpoint/resume flags shared by run/sweep/chaos/congestion."""
+    p.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "write digest-verified engine checkpoints into this directory "
+            "(periodic snapshots + manifest); an interrupted run/campaign "
+            "can later be finished with --resume DIR"
+        ),
+    )
+    p.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="CYCLES",
+        help="cycles between periodic checkpoints (default 1000)",
+    )
+    p.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "resume from an existing checkpoint directory: completed "
+            "campaign points reload from their per-point caches, "
+            "interrupted ones restart from their newest valid checkpoint "
+            "(corrupt or stale checkpoints are discarded with a recorded "
+            "finding); keeps checkpointing into the same directory"
+        ),
+    )
+
+
+def _checkpoint_dir(args) -> str | None:
+    """The checkpoint directory requested by --checkpoint/--resume."""
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    if resume is not None:
+        if (
+            checkpoint is not None
+            and pathlib.Path(checkpoint).resolve() != pathlib.Path(resume).resolve()
+        ):
+            raise ConfigurationError(
+                "--checkpoint and --resume name different directories"
+            )
+        if not pathlib.Path(resume).is_dir():
+            raise ConfigurationError(
+                f"--resume directory {resume!r} does not exist"
+            )
+        return resume
+    return checkpoint
+
+
+def _checkpoint_policy(args):
+    """The per-run CheckpointPolicy requested on the command line, or None."""
+    directory = _checkpoint_dir(args)
+    if directory is None:
+        return None
+    from .sim.checkpoint import CheckpointPolicy
+
+    return CheckpointPolicy(
+        directory=directory, interval_cycles=args.checkpoint_every
+    )
+
+
+def _campaign_checkpoints(args):
+    """The CampaignCheckpoints supervision requested, or None."""
+    directory = _checkpoint_dir(args)
+    if directory is None:
+        return None
+    from .experiments.sweep import CampaignCheckpoints
+
+    return CampaignCheckpoints(
+        directory=directory, interval_cycles=args.checkpoint_every
+    )
+
+
+class _SigtermInterrupt(KeyboardInterrupt):
+    """SIGTERM, promoted to the KeyboardInterrupt teardown path."""
+
+
+@contextlib.contextmanager
+def _sigterm_as_interrupt():
+    """Give SIGTERM the same grace as Ctrl-C for the enclosed campaign.
+
+    Campaigns already checkpoint in-flight points and flush completed
+    ones on KeyboardInterrupt; a supervisor's TERM (systemd, Slurm, CI
+    runners) deserves the identical teardown instead of an abrupt die.
+    The previous handler is restored on exit; off the main thread this
+    is a no-op (signal handlers can only be installed there).
+    """
+    if threading.current_thread() is not threading.main_thread() or not hasattr(
+        signal, "SIGTERM"
+    ):
+        yield
+        return
+
+    def raise_interrupt(signum, frame):
+        raise _SigtermInterrupt
+
+    previous = signal.signal(signal.SIGTERM, raise_interrupt)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
 def _open_ledger(args):
     """The Ledger named by ``--ledger``, or None."""
     path = getattr(args, "ledger", None)
@@ -409,15 +525,27 @@ def cmd_run(args) -> int:
 
             digests = StateDigestProbe(statehash)
         extra = _compose_probes([recorder, digests])
+        checkpoint = _checkpoint_policy(args)
         deadlock = probe = None
-        if args.forensics:
+        if args.forensics and checkpoint is not None:
+            if extra is not None:
+                raise ConfigurationError(
+                    "--checkpoint/--resume with --forensics cannot also take "
+                    "--flight/--statehash on run (drop one tier)"
+                )
+            from .obs.forensics import simulate_with_forensics
+
+            result = simulate_with_forensics(
+                config, sample_every=args.sample_every, checkpoint=checkpoint
+            )
+        elif args.forensics:
             from .obs.forensics import run_with_forensics
 
             result, probe, deadlock = run_with_forensics(
                 config, sample_every=args.sample_every, probe=extra
             )
         else:
-            result = simulate(config, probe=extra)
+            result = simulate(config, probe=extra, checkpoint=checkpoint)
         if args.watch:
             print(file=sys.stderr)  # finish the in-place status line
         ledger = _open_ledger(args)
@@ -512,15 +640,23 @@ def cmd_sweep(args) -> int:
                 telemetry.append(p.cycles_per_sec)
 
         try:
-            series = run_sweep(
-                lambda load: _make_config(args, load),
-                loads,
-                label=args.pattern,
-                progress=progress,
-                ledger=_open_ledger(args),
-                forensics=args.forensics,
-                simulate_fn=simulate_fn,
+            with _sigterm_as_interrupt():
+                series = run_sweep(
+                    lambda load: _make_config(args, load),
+                    loads,
+                    label=args.pattern,
+                    progress=progress,
+                    ledger=_open_ledger(args),
+                    forensics=args.forensics,
+                    simulate_fn=simulate_fn,
+                    checkpoints=_campaign_checkpoints(args),
+                )
+        except _SigtermInterrupt:
+            print(
+                "terminated: completed points were flushed to the cache/ledger",
+                file=sys.stderr,
             )
+            return 143
         except KeyboardInterrupt:
             print(
                 "interrupted: completed points were flushed to the cache/ledger",
@@ -863,26 +999,34 @@ def cmd_chaos(args) -> int:
         for network in networks:
             print(f"chaos campaign: {network}", file=sys.stderr)
             try:
-                campaign = chaos_campaign(
-                    network=network,
-                    fault_rates=rates,
-                    repair_grid=repairs,
-                    profile=profile,
-                    vcs=args.vcs,
-                    seed=args.seed,
-                    storm_seed=args.storm_seed,
-                    k=args.k,
-                    n=args.n,
-                    algorithm=args.algorithm if args.network != "both" else None,
-                    transport=transport,
-                    flight=_flight_config(args),
-                    parallel=args.parallel,
-                    max_workers=args.workers,
-                    retries=args.retries,
-                    timeout=args.timeout,
-                    progress=progress,
-                    ledger=ledger,
+                with _sigterm_as_interrupt():
+                    campaign = chaos_campaign(
+                        network=network,
+                        fault_rates=rates,
+                        repair_grid=repairs,
+                        profile=profile,
+                        vcs=args.vcs,
+                        seed=args.seed,
+                        storm_seed=args.storm_seed,
+                        k=args.k,
+                        n=args.n,
+                        algorithm=args.algorithm if args.network != "both" else None,
+                        transport=transport,
+                        flight=_flight_config(args),
+                        parallel=args.parallel,
+                        max_workers=args.workers,
+                        retries=args.retries,
+                        timeout=args.timeout,
+                        progress=progress,
+                        ledger=ledger,
+                        checkpoints=_campaign_checkpoints(args),
+                    )
+            except _SigtermInterrupt:
+                print(
+                    "terminated: completed points were flushed to the ledger",
+                    file=sys.stderr,
                 )
+                return 143
             except KeyboardInterrupt:
                 print(
                     "interrupted: completed points were flushed to the ledger",
@@ -956,27 +1100,35 @@ def cmd_congestion(args) -> int:
     print(f"congestion campaign: {args.network}", file=sys.stderr)
     progress, close_events = _campaign_progress(args)
     try:
-        campaign = congestion_campaign(
-            network=args.network,
-            modes=modes,
-            max_factor=args.max_factor,
-            profile=profile,
-            vcs=args.vcs,
-            pattern=args.pattern,
-            seed=args.seed,
-            k=args.k,
-            n=args.n,
-            algorithm=args.algorithm,
-            transport=transport,
-            flight=_flight_config(args),
-            arbiter_closed=args.arbiter_closed,
-            parallel=args.parallel,
-            max_workers=args.workers,
-            retries=args.retries,
-            timeout=args.timeout,
-            progress=progress,
-            ledger=ledger,
+        with _sigterm_as_interrupt():
+            campaign = congestion_campaign(
+                network=args.network,
+                modes=modes,
+                max_factor=args.max_factor,
+                profile=profile,
+                vcs=args.vcs,
+                pattern=args.pattern,
+                seed=args.seed,
+                k=args.k,
+                n=args.n,
+                algorithm=args.algorithm,
+                transport=transport,
+                flight=_flight_config(args),
+                arbiter_closed=args.arbiter_closed,
+                parallel=args.parallel,
+                max_workers=args.workers,
+                retries=args.retries,
+                timeout=args.timeout,
+                progress=progress,
+                ledger=ledger,
+                checkpoints=_campaign_checkpoints(args),
+            )
+    except _SigtermInterrupt:
+        print(
+            "terminated: completed points were flushed to the ledger",
+            file=sys.stderr,
         )
+        return 143
     except KeyboardInterrupt:
         print(
             "interrupted: completed points were flushed to the ledger",
@@ -1260,6 +1412,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_flight(p)
     _add_statehash(p)
     _add_observability(p)
+    _add_checkpoint(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("sweep", help="run a load sweep for one configuration")
@@ -1274,6 +1427,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_flight(p)
     _add_observability(p)
+    _add_checkpoint(p)
     p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser(
@@ -1423,6 +1577,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every chaos run as a kind=chaos record (report renders "
         "the goodput-degradation panel from them)",
     )
+    _add_checkpoint(p)
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser(
@@ -1497,6 +1652,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="append every overload run as a kind=congestion record (report "
         "renders the collapse panel from them)",
     )
+    _add_checkpoint(p)
     p.set_defaults(func=cmd_congestion)
 
     p = sub.add_parser(

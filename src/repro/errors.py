@@ -70,8 +70,30 @@ class PointTimeoutError(ReproError):
     """A sweep point exceeded its wall-clock budget and was terminated.
 
     Raised by the resilient sweep harness; the simulation process is
-    killed, so no partial statistics survive.
+    killed, so no partial statistics survive — unless checkpointing was
+    active, in which case the retry resumes from the newest valid
+    checkpoint instead of starting over.
     """
+
+
+class WorkerDiedError(SimulationError):
+    """A supervised sweep worker died or stopped heartbeating.
+
+    Derives from :class:`SimulationError` so the resilient sweep's retry
+    machinery treats it like any other transient point failure; the
+    supervisor additionally applies backoff before relaunching, since a
+    dead worker usually means host pressure (OOM killer, preemption)
+    rather than a simulation bug.
+    """
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written, read or verified.
+
+    Covers unpicklable live resources (an open event-stream file
+    handle), truncated or corrupt payloads, digest mismatches between
+    the header and the restored engine's fingerprint, and checkpoints
+    recorded under a different config digest (stale)."""
 
 
 class AnalysisError(ReproError):

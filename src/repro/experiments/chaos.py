@@ -168,8 +168,18 @@ def _draw_storm_schedule(engine, storm: StormSpec) -> FaultSchedule | None:
     return schedule
 
 
+def _resume_finish(engine, result, storm):
+    """Checkpoint finisher: the post-run work of :func:`run_chaos_point`."""
+    from ..obs.flight import _find_transport
+
+    engine.audit()
+    return attach_reliability(
+        result, _find_transport(engine.probe), extra={"storm": storm}
+    )
+
+
 def run_chaos_point(
-    config: SimulationConfig, storm: StormSpec, flight=None
+    config: SimulationConfig, storm: StormSpec, flight=None, checkpoint=None
 ) -> RunResult:
     """Simulate one chaos point: reliable transport + fail-stop storm.
 
@@ -182,7 +192,18 @@ def run_chaos_point(
     flight recorder; every scheduled strike/repair is stamped on the
     timeline as a ``fault_strike``/``fault_repair`` annotation (the
     schedule is known up front, so the stamps carry the exact cycles).
+
+    ``checkpoint`` (a :class:`~repro.sim.checkpoint.CheckpointPolicy`)
+    makes the point resumable: the storm schedule's pending strikes ride
+    the engine's cycle hooks inside the snapshot, and the audit +
+    reliability document are reapplied through the checkpoint finisher.
     """
+    if checkpoint is not None:
+        from ..sim.checkpoint import resume_point
+
+        resumed = resume_point(checkpoint, config)
+        if resumed is not None:
+            return resumed
     recorder = None
     if flight is not None:
         from ..obs.flight import FlightRecorder
@@ -202,8 +223,6 @@ def run_chaos_point(
                     recorder.annotate(
                         entry.repair_at, "fault_repair", str(entry.spec)
                     )
-    result = engine.run()
-    engine.audit()
     doc = {
         "fault_rate": storm.fault_rate,
         "repair_cycles": storm.repair_cycles,
@@ -211,6 +230,17 @@ def run_chaos_point(
         "faults": len(schedule) if schedule is not None else 0,
         "population": fault_population(engine.topology),
     }
+    if checkpoint is not None:
+        from ..sim.checkpoint import attach_checkpoints
+
+        attach_checkpoints(
+            engine,
+            checkpoint,
+            finisher="repro.experiments.chaos:_resume_finish",
+            finisher_args={"storm": doc},
+        )
+    result = engine.run()
+    engine.audit()
     return attach_reliability(result, transport, extra={"storm": doc})
 
 
@@ -245,6 +275,7 @@ def chaos_campaign(
     record_failures: bool = True,
     progress=None,
     ledger=None,
+    checkpoints=None,
 ) -> list[ChaosSeries]:
     """Grid fail-stop storms over fault rate × repair time × offered load.
 
@@ -259,7 +290,10 @@ def chaos_campaign(
     storm recipe on ``telemetry.reliability`` is what distinguishes
     them).  ``flight`` (a :class:`~repro.obs.flight.FlightConfig`)
     attaches a flight recorder to every point, with strike/repair
-    annotations stamped on each timeline.
+    annotations stamped on each timeline.  ``checkpoints`` (a
+    :class:`~repro.experiments.sweep.CampaignCheckpoints`) makes every
+    point checkpointed and resumable; a rerun with the same directory
+    reloads finished points and resumes interrupted ones.
     """
     profile = profile or get_profile()
     if loads is None:
@@ -297,6 +331,7 @@ def chaos_campaign(
                 ledger_kind="chaos",
                 ledger_dedup=False,
                 on_result=collected.append,
+                checkpoints=checkpoints,
             )
             out.append(
                 ChaosSeries(storm=storm, series=series, results=tuple(collected))

@@ -126,31 +126,62 @@ class OverloadSpec:
         return "closed" if self.closed_loop else "open"
 
 
-def run_overload_point(config: SimulationConfig, spec: OverloadSpec) -> RunResult:
+def _resume_finish(engine, result, overload):
+    """Checkpoint finisher: the post-run work of :func:`run_overload_point`."""
+    from ..obs.flight import _find_transport
+
+    engine.audit()
+    return attach_reliability(
+        result, _find_transport(engine.probe), extra={"overload": overload}
+    )
+
+
+def run_overload_point(
+    config: SimulationConfig, spec: OverloadSpec, checkpoint=None
+) -> RunResult:
     """Simulate one overload point in one mode.
 
     Module-level and driven by picklable arguments so the resilient
     sweep can fan it out over process pools.  Latency collection is
     forced on (the collapse panel needs p99) and the arbiter comes from
     the spec, so both knobs are part of the recorded config document.
+
+    ``checkpoint`` (a :class:`~repro.sim.checkpoint.CheckpointPolicy`)
+    makes the point resumable; transport/AIMD state rides the snapshot
+    and the audit + overload document are reapplied via the finisher.
     """
     config = dataclasses.replace(
         config, arbiter=spec.arbiter, collect_latencies=True
     )
-    recorder = FlightRecorder(spec.flight) if spec.flight is not None else None
-    engine = build_engine(config, probe=recorder)
-    if spec.closed_loop:
-        transport = install_congestion(engine, spec.transport, spec.control)
-    else:
-        transport = ReliableTransport(spec.transport).install(engine)
-    result = engine.run()
-    engine.audit()
     doc = {
         "mode": spec.mode,
         "arbiter": spec.arbiter,
         "saturation": spec.saturation,
         "factor": round(config.load / spec.saturation, 6),
     }
+    if checkpoint is not None:
+        from ..sim.checkpoint import resume_point
+
+        resumed = resume_point(checkpoint, config)
+        if resumed is not None:
+            return resumed
+    recorder = FlightRecorder(spec.flight) if spec.flight is not None else None
+    engine = build_engine(config, probe=recorder)
+    if spec.closed_loop:
+        transport = install_congestion(engine, spec.transport, spec.control)
+    else:
+        transport = ReliableTransport(spec.transport).install(engine)
+    if checkpoint is not None:
+        from ..sim.checkpoint import attach_checkpoints
+
+        attach_checkpoints(
+            engine,
+            checkpoint,
+            finisher="repro.experiments.congestion:_resume_finish",
+            finisher_args={"overload": doc},
+        )
+    result = engine.run()
+    engine.audit()
     return attach_reliability(result, transport, extra={"overload": doc})
 
 
@@ -214,6 +245,7 @@ def congestion_campaign(
     record_failures: bool = True,
     progress=None,
     ledger=None,
+    checkpoints=None,
 ) -> list[OverloadSeries]:
     """Grid open-loop vs closed-loop runs over an overload axis.
 
@@ -224,6 +256,10 @@ def congestion_campaign(
     appended to ``ledger`` as a ``"congestion"`` record with dedup off
     (modes intentionally share config digest + seed; the mode document
     on ``telemetry.reliability`` is what distinguishes them).
+    ``checkpoints`` (a
+    :class:`~repro.experiments.sweep.CampaignCheckpoints`) makes every
+    point checkpointed and resumable; a rerun with the same directory
+    reloads finished points and resumes interrupted ones.
     """
     profile = profile or get_profile()
     saturation = saturation_reference(
@@ -272,6 +308,7 @@ def congestion_campaign(
             ledger_kind="congestion",
             ledger_dedup=False,
             on_result=collected.append,
+            checkpoints=checkpoints,
         )
         out.append(
             OverloadSeries(spec=spec, series=series, results=tuple(collected))

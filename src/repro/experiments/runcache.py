@@ -75,7 +75,16 @@ class RunCache:
             return None
 
     def put(self, key: tuple, result: RunResult) -> pathlib.Path:
-        """Persist one entry atomically (write to temp, then rename)."""
+        """Persist one entry atomically (write to temp, then rename).
+
+        The write runs under an ``fcntl.flock`` on the directory's lock
+        file: rename atomicity already prevents torn entries, but the
+        lock keeps concurrent workers from interleaving whole
+        write+replace windows on a shared (e.g. network) filesystem
+        where rename semantics are weaker.
+        """
+        from ..sim.checkpoint import file_lock
+
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self.path_for(key)
         doc = {
@@ -85,11 +94,12 @@ class RunCache:
         }
         # per-process temp name: concurrent workers never share a temp file
         tmp = path.with_name(f"{path.stem}.{os.getpid()}.tmp")
-        with open(tmp, "w") as fh:
-            json.dump(doc, fh)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
+        with file_lock(self.directory / ".lock"):
+            with open(tmp, "w") as fh:
+                json.dump(doc, fh)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
         return path
 
     def __len__(self) -> int:

@@ -45,10 +45,16 @@ progress line instead of going dark for minutes.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
+import hashlib
+import json
 import multiprocessing
 import os
+import pathlib
+import signal
 import threading
+import time
 from collections.abc import Callable, Sequence
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from functools import partial
@@ -58,8 +64,10 @@ from ..errors import (
     PointTimeoutError,
     RoutingError,
     SimulationError,
+    WorkerDiedError,
 )
 from ..metrics.series import FailedPoint, LoadSweepSeries
+from ..sim.checkpoint import CheckpointPolicy, clear_checkpoints, has_resumable
 from ..sim.config import SimulationConfig
 from ..sim.results import RunResult
 from ..sim.run import simulate
@@ -83,6 +91,56 @@ _INTERRUPTED = threading.Event()
 #: live watchdog subprocesses, so an interrupt can terminate them all
 #: instead of leaving orphans behind blocked pipe reads
 _ACTIVE_WATCHDOGS: set = set()
+
+#: supervisor poll granularity (seconds) for the watchdog pipe loop
+_POLL_SLICE = 0.25
+
+#: fraction of the hard timeout at which the supervisor sends the
+#: worker SIGUSR1 — the soft-timeout escalation: checkpoint + snapshot
+_SOFT_TIMEOUT_FRACTION = 0.5
+
+#: worker heartbeat cadence (seconds) through the watchdog pipe
+_HEARTBEAT_SECONDS = 1.0
+
+#: beats may be delayed by GIL pressure; only this much silence from a
+#: worker (alive or not) is treated as death
+_HEARTBEAT_GRACE = 15.0
+
+#: exponential backoff (seconds) before relaunching after a dead worker
+_BACKOFF_BASE = 0.25
+_BACKOFF_CAP = 2.0
+
+
+@dataclasses.dataclass(frozen=True)
+class CampaignCheckpoints:
+    """Campaign-level checkpoint supervision for :func:`run_sweep`.
+
+    Every point gets its own subdirectory of ``directory`` (named by a
+    digest of the campaign label + the point's cache key, so chaos and
+    congestion grid cells that share a plain config recipe never
+    collide).  Each point directory holds the point's periodic
+    checkpoints, its manifest, and — once the point finishes — its
+    result document as a one-entry :class:`RunCache`, which is what a
+    later ``--resume`` reloads completed points from even for decorated
+    (``simulate_fn``) campaigns where the global cache is bypassed.
+    """
+
+    directory: str
+    interval_cycles: int = 1000
+    keep: int = 2
+
+    def point_dir(self, label: str, key: tuple) -> str:
+        digest = hashlib.sha256(
+            json.dumps([label, list(key)], sort_keys=False).encode()
+        ).hexdigest()[:32]
+        return str(pathlib.Path(self.directory) / digest)
+
+    def policy(self, point_dir: str) -> CheckpointPolicy:
+        return CheckpointPolicy(
+            directory=point_dir,
+            interval_cycles=self.interval_cycles,
+            keep=self.keep,
+        )
 
 
 @dataclasses.dataclass(frozen=True)
@@ -198,19 +256,61 @@ def _simulate_fn(forensics: bool, simulate_fn=None):
     return simulate_with_forensics
 
 
+def _call_sim(fn, config: SimulationConfig, ckpt) -> RunResult:
+    """Invoke a point-simulation callable, threading the checkpoint
+    policy through only when supervision asked for one (an arbitrary
+    ``simulate_fn`` need not accept the kwarg otherwise)."""
+    if ckpt is None:
+        return fn(config)
+    return fn(config, checkpoint=ckpt)
+
+
 def _watchdog_child(
-    config: SimulationConfig, conn, forensics: bool = False, simulate_fn=None
+    config: SimulationConfig,
+    conn,
+    forensics: bool = False,
+    simulate_fn=None,
+    ckpt=None,
+    heartbeat: float | None = None,
 ) -> None:
-    """Subprocess body: simulate and ship the result (or error) back."""
+    """Subprocess body: simulate and ship the result (or error) back.
+
+    With ``heartbeat`` set, a daemon thread pulses ``("hb", None)``
+    through the pipe so the supervisor can tell a busy worker from a
+    dead one; the lock keeps beats and the final payload from
+    interleaving (``Connection.send`` is not thread-safe).  With
+    ``ckpt`` set, SIGUSR1 is routed to the checkpoint probe so the
+    supervisor's soft-timeout escalation lands as a checkpoint plus a
+    diagnostic snapshot.
+    """
+    lock = threading.Lock()
+    stop = threading.Event()
+    if heartbeat:
+        def _beat() -> None:
+            while not stop.wait(heartbeat):
+                try:
+                    with lock:
+                        conn.send(("hb", None))
+                except Exception:  # noqa: BLE001 - parent gone; just stop
+                    return
+
+        threading.Thread(target=_beat, daemon=True, name="sweep-heartbeat").start()
+    if ckpt is not None:
+        from ..sim.checkpoint import install_escalation_handler
+
+        install_escalation_handler()
     try:
-        payload = ("ok", _simulate_fn(forensics, simulate_fn)(config))
+        payload = ("ok", _call_sim(_simulate_fn(forensics, simulate_fn), config, ckpt))
     except Exception as exc:  # noqa: BLE001 - shipped to the parent verbatim
         payload = ("err", exc)
+    stop.set()
     try:
-        conn.send(payload)
+        with lock:
+            conn.send(payload)
     except Exception:
         # an unpicklable exotic error: degrade to its text form
-        conn.send(("err", SimulationError(f"{type(payload[1]).__name__}: {payload[1]}")))
+        with lock:
+            conn.send(("err", SimulationError(f"{type(payload[1]).__name__}: {payload[1]}")))
     finally:
         conn.close()
 
@@ -220,33 +320,70 @@ def _simulate_with_timeout(
     timeout: float,
     forensics: bool = False,
     simulate_fn=None,
+    ckpt=None,
 ) -> RunResult:
     """Run one point under a wall-clock watchdog in a subprocess.
+
+    The supervisor polls the worker pipe in short slices, filtering
+    heartbeats.  At ``_SOFT_TIMEOUT_FRACTION`` of the budget (with
+    checkpointing active) the worker gets SIGUSR1 — the soft timeout:
+    it checkpoints and writes a diagnostic snapshot but keeps running.
+    At the hard deadline the worker is terminated.
 
     Raises:
         PointTimeoutError: budget exceeded; the subprocess is terminated,
             so even an engine stuck in an infinite loop is contained.
+        WorkerDiedError: the worker vanished (or went silent past the
+            heartbeat grace) without reporting a result.
     """
     recv, send = multiprocessing.Pipe(duplex=False)
     proc = multiprocessing.Process(
-        target=_watchdog_child, args=(config, send, forensics, simulate_fn)
+        target=_watchdog_child,
+        args=(config, send, forensics, simulate_fn, ckpt, _HEARTBEAT_SECONDS),
     )
     proc.start()
     _ACTIVE_WATCHDOGS.add(proc)
     send.close()
+    deadline = time.monotonic() + timeout
+    soft_at = None
+    if ckpt is not None and hasattr(signal, "SIGUSR1"):
+        soft_at = time.monotonic() + timeout * _SOFT_TIMEOUT_FRACTION
+    last_beat = time.monotonic()
     try:
-        if not recv.poll(timeout):
-            proc.terminate()
-            proc.join()
-            raise PointTimeoutError(
-                f"point {config.label()} exceeded its {timeout:g}s wall-clock budget"
-            )
-        try:
-            tag, payload = recv.recv()
-        except EOFError:
-            raise SimulationError(
-                f"worker for {config.label()} died without reporting a result"
-            ) from None
+        while True:
+            now = time.monotonic()
+            if now >= deadline:
+                proc.terminate()
+                proc.join()
+                raise PointTimeoutError(
+                    f"point {config.label()} exceeded its {timeout:g}s wall-clock budget"
+                )
+            wait = min(_POLL_SLICE, max(0.0, deadline - now))
+            if soft_at is not None:
+                wait = min(wait, max(0.0, soft_at - now))
+            if recv.poll(wait):
+                try:
+                    tag, payload = recv.recv()
+                except EOFError:
+                    raise WorkerDiedError(
+                        f"worker for {config.label()} died without reporting a result"
+                    ) from None
+                if tag == "hb":
+                    last_beat = time.monotonic()
+                    continue
+                break
+            now = time.monotonic()
+            if soft_at is not None and now >= soft_at:
+                soft_at = None
+                with contextlib.suppress(OSError):
+                    os.kill(proc.pid, signal.SIGUSR1)
+            if now - last_beat > _HEARTBEAT_GRACE:
+                proc.terminate()
+                proc.join()
+                raise WorkerDiedError(
+                    f"worker for {config.label()} stopped heartbeating "
+                    f"({_HEARTBEAT_GRACE:g}s of silence)"
+                )
     finally:
         _ACTIVE_WATCHDOGS.discard(proc)
         recv.close()
@@ -262,12 +399,24 @@ def _point_task(
     timeout: float | None = None,
     forensics: bool = False,
     simulate_fn=None,
+    checkpoints: CampaignCheckpoints | None = None,
+    point_dir: str | None = None,
 ):
     """Run one point with bounded retry-with-reseed.
 
     Returns ``("ok", result)`` or ``("fail", FailedPoint, last_error)``;
     non-retryable errors propagate.  Top-level so process pools can pickle
     it.
+
+    With ``checkpoints`` supervision, two deviations from plain
+    retry-with-reseed: a retry after a timeout or a dead worker keeps
+    the *original* seed when the point directory holds a resumable
+    checkpoint (resuming a reseeded recipe would reject the checkpoint
+    as stale — the whole point is to not lose the completed cycles),
+    and a dead worker earns exponential backoff before the relaunch,
+    since worker death usually means host pressure, not a bad seed.
+    Deadlocks and engine errors still reseed: resuming a deadlocked
+    run's own state would deadlock again.
     """
     seeds: list[int] = []
     last: Exception | None = None
@@ -276,12 +425,28 @@ def _point_task(
             # the campaign is tearing down: a retry here would race the
             # interrupt handler's worker cleanup
             raise KeyboardInterrupt
-        cfg = _reseeded(config, attempt)
+        if isinstance(last, WorkerDiedError):
+            delay = min(_BACKOFF_CAP, _BACKOFF_BASE * (2 ** (attempt - 1)))
+            if _INTERRUPTED.wait(delay):
+                raise KeyboardInterrupt
+        resume = (
+            checkpoints is not None
+            and point_dir is not None
+            and isinstance(last, (PointTimeoutError, WorkerDiedError))
+            and has_resumable(point_dir, config)
+        )
+        cfg = config if resume else _reseeded(config, attempt)
         seeds.append(cfg.seed)
+        ckpt = None
+        if checkpoints is not None and point_dir is not None:
+            ckpt = checkpoints.policy(point_dir)
         try:
             if timeout is None:
-                return ("ok", _simulate_fn(forensics, simulate_fn)(cfg))
-            return ("ok", _simulate_with_timeout(cfg, timeout, forensics, simulate_fn))
+                return ("ok", _call_sim(_simulate_fn(forensics, simulate_fn), cfg, ckpt))
+            return (
+                "ok",
+                _simulate_with_timeout(cfg, timeout, forensics, simulate_fn, ckpt=ckpt),
+            )
         except _RETRYABLE as exc:
             last = exc
     failure = FailedPoint(
@@ -318,6 +483,8 @@ def _run_parallel(
     forensics=False,
     simulate_fn=None,
     consume=None,
+    checkpoints=None,
+    point_dirs=None,
 ):
     """Fan points out over a pool, consuming outcomes in submission order.
 
@@ -334,12 +501,16 @@ def _run_parallel(
         timeout=timeout,
         forensics=forensics,
         simulate_fn=simulate_fn,
+        checkpoints=checkpoints,
     )
     # with a timeout every task already manages its own watchdog
     # subprocess, so the fan-out layer only needs threads to block on pipes
     pool_cls = ProcessPoolExecutor if timeout is None else ThreadPoolExecutor
     pool = pool_cls(max_workers=workers)
-    futures = [pool.submit(task, config) for config in pending]
+    futures = [
+        pool.submit(task, config, point_dir=point_dirs[i] if point_dirs else None)
+        for i, config in enumerate(pending)
+    ]
     consumed = 0
     try:
         for config, fut in zip(pending, futures):
@@ -383,6 +554,7 @@ def run_sweep(
     ledger_kind: str | None = None,
     ledger_dedup: bool = True,
     on_result: Callable[[RunResult], None] | None = None,
+    checkpoints: CampaignCheckpoints | None = None,
 ) -> LoadSweepSeries:
     """Run one configuration over a load grid.
 
@@ -430,6 +602,19 @@ def run_sweep(
             :class:`RunResult` added to the series (cached hits
             included), for campaigns that need the raw results beyond
             the series' load points.
+        checkpoints: optional :class:`CampaignCheckpoints` supervision.
+            Every pending point runs with a per-point checkpoint
+            directory (periodic snapshots + manifest); finished points
+            persist their result there as a one-entry :class:`RunCache`
+            and drop their snapshots.  A later campaign passing the same
+            directory reloads completed points from those per-point
+            caches (even when ``simulate_fn`` bypasses the global cache)
+            and restarts interrupted points from their newest valid
+            checkpoint.  With a ``timeout``, supervision also enables
+            worker heartbeats, the SIGUSR1 soft-timeout escalation and
+            resume-from-checkpoint retries.  When ``simulate_fn`` is
+            set it must accept a ``checkpoint=`` keyword (all the
+            repo's point functions do).
     """
     if forensics or simulate_fn is not None:
         # the memo/disk cache is keyed by recipe alone; instrumented,
@@ -494,6 +679,10 @@ def run_sweep(
             result = cache.get(key)
             if result is not None:
                 _CACHE[key] = result
+        if result is None and checkpoints is not None:
+            # the point's own one-entry cache — how --resume reloads
+            # completed points even for decorated (simulate_fn) campaigns
+            result = RunCache(checkpoints.point_dir(label, key)).get(key)
         if result is not None:
             series.add(result)
             if ledger is not None:
@@ -513,6 +702,13 @@ def run_sweep(
                 _CACHE[_cache_key(result.config)] = result
                 if cache is not None:
                     cache.put(_cache_key(result.config), result)
+            if checkpoints is not None:
+                # file under the ORIGINAL recipe's key (a reseeded retry
+                # must still satisfy the same grid point on resume), then
+                # drop the now-redundant snapshots
+                pdir = checkpoints.point_dir(label, _cache_key(config))
+                RunCache(pdir).put(_cache_key(config), result)
+                clear_checkpoints(pdir)
             series.add(result)
             if ledger is not None:
                 ledger.append_run(result, kind=kind, dedup=ledger_dedup)
@@ -525,6 +721,11 @@ def run_sweep(
             series.add_failure(outcome[1])
             report(config, "failed")
 
+    point_dirs = None
+    if checkpoints is not None:
+        point_dirs = [
+            checkpoints.point_dir(label, _cache_key(config)) for config in pending
+        ]
     if parallel and len(pending) > 1:
         _run_parallel(
             pending,
@@ -534,9 +735,11 @@ def run_sweep(
             forensics=forensics,
             simulate_fn=simulate_fn,
             consume=consume,
+            checkpoints=checkpoints,
+            point_dirs=point_dirs,
         )
     else:
-        for config in pending:
+        for i, config in enumerate(pending):
             key = _cache_key(config)
             if use_cache and key in _CACHE:  # duplicate earlier in this grid
                 series.add(_CACHE[key])
@@ -554,6 +757,8 @@ def run_sweep(
                     timeout=timeout,
                     forensics=forensics,
                     simulate_fn=simulate_fn,
+                    checkpoints=checkpoints,
+                    point_dir=point_dirs[i] if point_dirs else None,
                 ),
             )
     return series

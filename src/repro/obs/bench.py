@@ -75,6 +75,23 @@ def _statehash_probe():
     return StateDigestProbe()
 
 
+#: bench-created checkpoint scratch directories, held for process life —
+#: they cannot ride on the probe itself (the probe is pickled into every
+#: checkpoint it writes, and TemporaryDirectory finalizers don't pickle)
+_BENCH_CHECKPOINT_DIRS: list = []
+
+
+def _checkpoint_probe():
+    # imported on use: checkpoint sits above this module in the layering
+    import tempfile
+
+    from ..sim.checkpoint import CheckpointProbe
+
+    tmp = tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-")
+    _BENCH_CHECKPOINT_DIRS.append(tmp)
+    return CheckpointProbe(tmp.name)
+
+
 #: probe spec names -> factories; "off" runs the uninstrumented fast path
 PROBE_FACTORIES = {
     "off": lambda: None,
@@ -85,6 +102,7 @@ PROBE_FACTORIES = {
     "forensics": _forensics_probe,
     "flight": _flight_probe,
     "statehash": _statehash_probe,
+    "checkpoint": _checkpoint_probe,
 }
 
 

@@ -111,6 +111,18 @@ class WindowedCounterProbe(Probe):
         self._occ = [[0] * len(d.lanes) for d in self._dirs]
         self._flit_base = [0] * n
 
+    def __getstate__(self) -> dict:
+        # the id(direction) index dies across processes; _dirs carries
+        # the same objects in order, so rebuild it on restore
+        state = dict(self.__dict__)
+        state.pop("_index", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        if hasattr(self, "_dirs"):
+            self._index = {id(d): i for i, d in enumerate(self._dirs)}
+
     # -- callbacks -----------------------------------------------------------
 
     def on_direction_blocked(self, cycle: int, direction) -> None:

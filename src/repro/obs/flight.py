@@ -187,6 +187,20 @@ class FlightRecorder(Probe):
 
     # -- wiring ---------------------------------------------------------------
 
+    def __getstate__(self) -> dict:
+        # a live event stream or watch callback cannot ride inside a
+        # checkpoint; fail loudly rather than restore a recorder that
+        # silently stopped streaming
+        if self._events_fh is not None or self.on_sample is not None:
+            from ..errors import CheckpointError
+
+            raise CheckpointError(
+                "a flight recorder with a live event stream or --watch "
+                "callback cannot be checkpointed; drop --events/--watch "
+                "for checkpointed runs"
+            )
+        return dict(self.__dict__)
+
     def bind(self, engine) -> None:
         self.engine = engine
         labels = []
@@ -544,18 +558,20 @@ def simulate_with_flight(
     flight: FlightConfig | None = None,
     on_sample=None,
     events=None,
+    checkpoint=None,
 ):
     """``simulate(config)`` with a flight recorder attached.
 
     Module-level and driven by picklable arguments so the resilient
     sweep harness can fan it out over process pools (``on_sample`` and
-    ``events`` are for in-process use).  The flight document lands on
-    ``result.telemetry.flight``.
+    ``events`` are for in-process use, and are incompatible with
+    ``checkpoint`` — a live stream cannot ride inside a snapshot).  The
+    flight document lands on ``result.telemetry.flight``.
     """
     from ..sim.run import simulate
 
     recorder = FlightRecorder(flight, on_sample=on_sample, events=events)
-    return simulate(config, probe=recorder)
+    return simulate(config, probe=recorder, checkpoint=checkpoint)
 
 
 def describe_flight(doc: dict) -> str:

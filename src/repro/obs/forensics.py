@@ -583,6 +583,18 @@ class HotspotProbe(Probe):
         if cycle >= self._warmup:
             self._blocked[id(direction)][1] += 1
 
+    def __getstate__(self) -> dict:
+        # id(direction) keys die across processes; checkpoint the
+        # direction objects and re-key on restore
+        state = dict(self.__dict__)
+        state["_blocked"] = [list(rec) for rec in self._blocked.values()]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        blocked = state.pop("_blocked")
+        self.__dict__.update(state)
+        self._blocked = {id(rec[0]): rec for rec in blocked}
+
     def records(self) -> list[dict]:
         """Per-direction hotspot records (all directions, even idle)."""
         out = []
@@ -730,19 +742,50 @@ def attach_forensics(result, probe: ForensicsProbe):
     return result
 
 
-def simulate_with_forensics(config, sample_every: int = 200):
+def _find_forensics(probe):
+    """The ForensicsProbe inside a probe tree, or None."""
+    if isinstance(probe, ForensicsProbe):
+        return probe
+    for child in getattr(probe, "probes", ()):
+        found = _find_forensics(child)
+        if found is not None:
+            return found
+    return None
+
+
+def _resume_finish(engine, result):
+    """Checkpoint finisher: reattach the restored probe's document."""
+    return attach_forensics(result, _find_forensics(engine.probe))
+
+
+def simulate_with_forensics(config, sample_every: int = 200, checkpoint=None):
     """``simulate(config)`` with the forensics tier attached.
 
     The forensics document lands on the result's telemetry, so it
     survives pickling (parallel sweep workers), the run JSON document
     and the ledger.  Raises :class:`~repro.errors.DeadlockError` exactly
     like :func:`~repro.sim.run.simulate` — campaign resilience handling
-    stays unchanged.
+    stays unchanged.  ``checkpoint`` makes the run resumable; the
+    forensics document is then rebuilt from the *restored* probe.
     """
-    from ..sim.run import simulate
+    from ..sim.run import build_engine, simulate
 
+    if checkpoint is None:
+        probe = ForensicsProbe(sample_every=sample_every)
+        result = simulate(config, probe=probe)
+        return attach_forensics(result, probe)
+
+    from ..sim.checkpoint import attach_checkpoints, resume_point
+
+    resumed = resume_point(checkpoint, config)
+    if resumed is not None:
+        return resumed
     probe = ForensicsProbe(sample_every=sample_every)
-    result = simulate(config, probe=probe)
+    engine = build_engine(config, probe=probe)
+    attach_checkpoints(
+        engine, checkpoint, finisher="repro.obs.forensics:_resume_finish"
+    )
+    result = engine.run()
     return attach_forensics(result, probe)
 
 

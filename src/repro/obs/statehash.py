@@ -742,18 +742,22 @@ class StateDigestProbe(Probe):
 # -- conveniences --------------------------------------------------------------
 
 
-def simulate_with_statehash(config, statehash: StateDigestConfig | None = None, probe=None):
+def simulate_with_statehash(
+    config, statehash: StateDigestConfig | None = None, probe=None, checkpoint=None
+):
     """One run with the digest chain on ``result.telemetry.statehash``.
 
     ``probe`` composes an additional observer alongside the digest probe
     (via :class:`~repro.obs.probe.MultiProbe`).  Module-level and
-    picklable, so campaign pools can ship it to workers.
+    picklable, so campaign pools can ship it to workers.  With
+    ``checkpoint`` the digest chain doubles as the restore verifier: a
+    resumed run's chain is byte-identical to an uninterrupted one's.
     """
     from ..sim.run import simulate
 
     digests = StateDigestProbe(statehash or StateDigestConfig())
     composed = digests if probe is None else MultiProbe([digests, probe])
-    return simulate(config, probe=composed)
+    return simulate(config, probe=composed, checkpoint=checkpoint)
 
 
 def describe_statehash(doc: dict) -> str:

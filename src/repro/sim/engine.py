@@ -149,6 +149,10 @@ class Engine:
         #: rolling counter behind RunResult.throughput_timeline
         self._interval_delivered = 0
         self._last_progress = 0
+        #: cycle the current run() entered at — an attribute rather than a
+        #: run() local so a checkpointed engine can resume_run() and still
+        #: report telemetry.cycles over the whole logical run
+        self._run_started_at = 0
         self._next_pid = 0
         #: high-water mark of packets simultaneously in flight (telemetry)
         self._peak_in_flight = 0
@@ -310,11 +314,19 @@ class Engine:
             self._next_hook_cycle = cycle
 
     def _run_cycle_hooks(self, t: int) -> None:
-        # hooks may add same-cycle hooks while running, hence the loop
+        # hooks may add same-cycle hooks while running, hence the loop;
+        # bookkeeping is settled BEFORE each hook runs so a hook that
+        # snapshots the engine (checkpointing) captures exactly the
+        # not-yet-run remainder — never itself, never a stale next-cycle
         while self._next_hook_cycle == t:
-            for fn in self._cycle_hooks.pop(t):
-                fn(self)
-            self._next_hook_cycle = min(self._cycle_hooks) if self._cycle_hooks else -1
+            pending = self._cycle_hooks[t]
+            fn = pending.pop(0)
+            if not pending:
+                del self._cycle_hooks[t]
+                self._next_hook_cycle = (
+                    min(self._cycle_hooks) if self._cycle_hooks else -1
+                )
+            fn(self)
 
     # -- one simulation cycle ----------------------------------------------------
 
@@ -621,9 +633,27 @@ class Engine:
                 ``config.watchdog_cycles`` cycles while packets are in
                 flight (indicates a routing bug, not an expected outcome).
         """
+        start_cycle, wall_start = self._start_run()
+        self._run_started_at = start_cycle
+        return self._run_to_total(wall_start)
+
+    def resume_run(self) -> RunResult:
+        """Continue a restored run to ``config.total_cycles``.
+
+        The checkpoint/restore counterpart of :meth:`run` (see
+        :mod:`repro.sim.checkpoint`): probes keep the accumulated state
+        they were pickled with, so ``on_run_start`` must *not* re-fire —
+        a statehash chain or flight timeline continues seamlessly across
+        the restore.  Telemetry spans the whole logical run
+        (``_run_started_at`` travelled inside the checkpoint); only the
+        wall-clock fields measure this process's share.
+        """
+        return self._run_to_total(time.perf_counter())
+
+    def _run_to_total(self, wall_start: float) -> RunResult:
         watchdog = self.config.watchdog_cycles
         total = self.config.total_cycles
-        start_cycle, wall_start = self._start_run()
+        start_cycle = self._run_started_at
         while self.cycle < total:
             if self.step():
                 self._last_progress = self.cycle

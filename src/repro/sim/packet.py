@@ -74,10 +74,31 @@ class Packet:
         )
 
 
+class _FaultSentinel(Packet):
+    """The sentinel's own type, so pickling preserves ``is``-identity.
+
+    Checkpointing pickles the whole engine graph; a sentinel pickled by
+    value would come back as a copy and silently break every
+    ``is FAULT_SENTINEL`` check after a restore.  Reducing to the module
+    attribute costs nothing for ordinary packets (pickle consults
+    ``__reduce__`` per *type*, via C dispatch) — unlike a pickler-level
+    ``persistent_id`` hook, which is a Python call per pickled object.
+    """
+
+    __slots__ = ()
+
+    def __reduce__(self):
+        return (_restore_fault_sentinel, ())
+
+
+def _restore_fault_sentinel() -> "Packet":
+    return FAULT_SENTINEL
+
+
 #: Sentinel packet marking a lane as dead (fault injection): it never
 #: moves and is never delivered, so allocating it to a lane makes the
 #: lane permanently busy for routing without touching the hot paths.
 #: Defined here (rather than in :mod:`repro.faults`) so low-level code —
 #: the engine's deadlock diagnostics in particular — can recognize
 #: faulted lanes without importing the fault subsystem.
-FAULT_SENTINEL = Packet(pid=-1, src=0, dst=0, size=1 << 30, created=-1)
+FAULT_SENTINEL = _FaultSentinel(pid=-1, src=0, dst=0, size=1 << 30, created=-1)

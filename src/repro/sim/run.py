@@ -53,12 +53,28 @@ def build_engine(config: SimulationConfig, probe=None) -> Engine:
     return engine
 
 
-def simulate(config: SimulationConfig, probe=None) -> RunResult:
+def simulate(config: SimulationConfig, probe=None, checkpoint=None) -> RunResult:
     """Run one simulation to completion and return its measurements.
 
     An optional ``probe`` (:mod:`repro.obs`) instruments the run; the
     returned result always carries :class:`~repro.obs.telemetry.RunTelemetry`.
+
+    ``checkpoint`` (a :class:`~repro.sim.checkpoint.CheckpointPolicy`)
+    makes the run resumable: a valid checkpoint in the policy's
+    directory finishes the interrupted run (byte-identical document,
+    wall-clock aside); otherwise the run starts fresh with a
+    :class:`~repro.sim.checkpoint.CheckpointProbe` composed onto
+    ``probe``.
     """
+    if checkpoint is not None:
+        from .checkpoint import attach_checkpoints, resume_point
+
+        resumed = resume_point(checkpoint, config)
+        if resumed is not None:
+            return resumed
+        engine = build_engine(config, probe=probe)
+        attach_checkpoints(engine, checkpoint)
+        return engine.run()
     return build_engine(config, probe=probe).run()
 
 

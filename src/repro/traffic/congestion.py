@@ -168,6 +168,27 @@ class CongestionMarker(Probe):
         }
         self._window_end = engine.cycle + self.config.window_cycles
 
+    # -- checkpointing --------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        # the hot-link tables are keyed by id(direction), which is
+        # meaningless in another process; pickle the direction objects
+        # themselves (shared references inside one engine pickle) and
+        # rebuild the id keys on restore
+        state = dict(self.__dict__)
+        state["_blocked"] = [list(rec) for rec in self._blocked.values()]
+        state["_hot"] = [
+            rec[0] for rec in self._blocked.values() if id(rec[0]) in self._hot
+        ]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        blocked = state.pop("_blocked")
+        hot = state.pop("_hot")
+        self.__dict__.update(state)
+        self._blocked = {id(rec[0]): rec for rec in blocked}
+        self._hot = {id(d) for d in hot}
+
     # -- hot-link accounting --------------------------------------------------
 
     def on_direction_blocked(self, cycle: int, direction) -> None:
@@ -380,14 +401,31 @@ def simulate_congested(
     transport_config: TransportConfig | None = None,
     congestion_config: CongestionConfig | None = None,
     probe=None,
+    checkpoint=None,
 ):
     """``simulate(config)`` with the closed congestion loop installed.
 
     The transport + control-loop accounting lands on the result's
     telemetry (``reliability["congestion"]``), so scorecards and the
     ledger can tell closed-loop runs from open-loop ones.
+    ``checkpoint`` makes the run resumable — marker windows, AIMD state
+    and hold queues ride inside the snapshot.
     """
     from ..sim.run import build_engine
+
+    if checkpoint is not None:
+        from ..sim.checkpoint import attach_checkpoints, resume_point
+
+        resumed = resume_point(checkpoint, config)
+        if resumed is not None:
+            return resumed
+        engine = build_engine(config, probe=probe)
+        transport = install_congestion(engine, transport_config, congestion_config)
+        attach_checkpoints(
+            engine, checkpoint, finisher="repro.traffic.transport:_resume_finish"
+        )
+        result = engine.run()
+        return attach_reliability(result, transport)
 
     engine = build_engine(config, probe=probe)
     transport = install_congestion(engine, transport_config, congestion_config)

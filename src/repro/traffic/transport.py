@@ -546,19 +546,43 @@ def attach_reliability(result, transport: ReliableTransport, extra: dict | None 
     return result
 
 
+def _resume_finish(engine, result, extra=None):
+    """Checkpoint finisher: fold the restored transport's accounting in."""
+    from ..obs.flight import _find_transport
+
+    return attach_reliability(result, _find_transport(engine.probe), extra=extra)
+
+
 def simulate_reliable(
     config,
     transport_config: TransportConfig | None = None,
     probe=None,
+    checkpoint=None,
 ):
     """``simulate(config)`` with the reliable transport installed.
 
     The transport accounting lands on the result's telemetry, so it
     survives pickling (parallel sweep workers), the run JSON document
     and the ledger.  ``probe`` composes with the transport through
-    :class:`~repro.obs.probe.MultiProbe`.
+    :class:`~repro.obs.probe.MultiProbe`.  ``checkpoint`` makes the run
+    resumable — the transport (timer wheel, windows, RNG) rides inside
+    the snapshot like everything else.
     """
     from ..sim.run import build_engine
+
+    if checkpoint is not None:
+        from ..sim.checkpoint import attach_checkpoints, resume_point
+
+        resumed = resume_point(checkpoint, config)
+        if resumed is not None:
+            return resumed
+        engine = build_engine(config, probe=probe)
+        transport = ReliableTransport(transport_config).install(engine)
+        attach_checkpoints(
+            engine, checkpoint, finisher="repro.traffic.transport:_resume_finish"
+        )
+        result = engine.run()
+        return attach_reliability(result, transport)
 
     engine = build_engine(config, probe=probe)
     transport = ReliableTransport(transport_config).install(engine)
